@@ -1,0 +1,30 @@
+"""Benchmarks: the DESIGN.md ablation experiments."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_feedback(run_once):
+    result = run_once(ablations.run_feedback, quick=True)
+    assert "saturated" in result.render()
+
+
+def test_ablation_clamp(run_once):
+    result = run_once(ablations.run_clamp, quick=True)
+    assert result.tables
+
+
+def test_ablation_node_channel(run_once):
+    result = run_once(ablations.run_node_channel, quick=True)
+    assert result.tables
+
+
+def test_ablation_dimension(run_once):
+    result = run_once(ablations.run_dimension, quick=True)
+    assert result.tables
+
+
+def test_ablation_buffering(run_once):
+    result = run_once(ablations.run_buffering, quick=True)
+    # Wormhole shows at least as much latency as buffered cut-through on
+    # the high-distance mappings (the final row of the table).
+    assert result.tables

@@ -1,0 +1,18 @@
+"""Benchmarks: the extension experiments beyond the paper's artifacts."""
+
+from repro.experiments import organizations, scaling_sim
+from repro.experiments.validation_data import clear_cache
+
+
+def test_organizations_taxonomy(run_once):
+    result = run_once(organizations.run, quick=False)
+    bus = result.data["bus"]
+    # Per-node bus throughput collapses monotonically with machine size.
+    assert all(b <= a + 1e-12 for a, b in zip(bus, bus[1:]))
+
+
+def test_scaling_simulated(run_once):
+    clear_cache()
+    result = run_once(scaling_sim.run, quick=True)
+    latencies = result.data["t_m_sim"]
+    assert all(b > a for a, b in zip(latencies, latencies[1:]))

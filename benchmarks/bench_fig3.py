@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (application message curves)."""
+
+from repro.experiments import fig3
+from repro.experiments.validation_data import clear_cache
+
+
+def test_figure3_message_curves(run_once):
+    clear_cache()
+    result = run_once(fig3.run, quick=True)
+    slopes = result.data["slopes"]
+    # The paper's qualitative claim: slopes grow with context count,
+    # roughly doubling per doubling of contexts.
+    assert slopes[1] < slopes[2] < slopes[4]
+    assert 1.4 < slopes[2] / slopes[1] < 2.2

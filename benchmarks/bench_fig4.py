@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (message rate vs distance, sim vs model)."""
+
+from repro.experiments import fig4
+from repro.experiments.validation_data import clear_cache
+
+
+def test_figure4_rate_vs_distance(run_once):
+    clear_cache()
+    result = run_once(fig4.run, quick=True)
+    reports = result.data["reports"]
+    # Single-context predictions land within the paper's "few percent"
+    # band on average.
+    assert reports[1].mean_rate_error < 0.12
+    for report in reports.values():
+        rates = [row.simulated.message_rate for row in report.rows]
+        assert rates[0] > rates[-1]  # feedback: rates fall with distance

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 5 (message latency vs distance)."""
+
+from repro.experiments import fig5
+from repro.experiments.validation_data import clear_cache
+
+
+def test_figure5_latency_vs_distance(run_once):
+    clear_cache()
+    result = run_once(fig5.run, quick=True)
+    reports = result.data["reports"]
+    assert reports[1].max_latency_error_cycles < 12.0
+    for report in reports.values():
+        latencies = [row.simulated.mean_message_latency for row in report.rows]
+        assert latencies[-1] > latencies[0]

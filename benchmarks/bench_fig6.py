@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 (per-hop latency vs machine size)."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+def test_figure6_per_hop_limit(run_once):
+    result = run_once(fig6.run, quick=False)
+    assert result.data["limit"] == pytest.approx(9.78, abs=0.05)
+    assert 1000 < result.data["eighty_percent_size"] < 10000
+    # Both grains approach the same limit, the coarse one more slowly.
+    assert result.data["base"][-1] > 0.95 * result.data["limit"]
+    assert result.data["coarse"][0] < result.data["base"][0]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (expected gain vs machine size)."""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_figure7_gain_curves(run_once):
+    result = run_once(fig7.run, quick=False)
+    gains = result.data["gains"]
+    for p in (1, 2, 4):
+        assert gains[p][0] == pytest.approx(1.0, abs=0.05)
+        assert 38 < gains[p][-1] < 57  # paper: 40-55 at a million
+    # The paper's "strikingly similar" curves: within ~10% at 1,000.
+    thousand_index = min(
+        range(len(result.data["sizes"])),
+        key=lambda i: abs(result.data["sizes"][i] - 1000),
+    )
+    at_thousand = [gains[p][thousand_index] for p in (1, 2, 4)]
+    assert max(at_thousand) / min(at_thousand) < 1.15

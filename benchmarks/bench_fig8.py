@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 (issue-time component breakdown)."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_figure8_breakdown(run_once):
+    result = run_once(fig8.run, quick=False)
+    shares = result.data["fixed_transaction_share"]
+    assert len(shares) == 6
+    # One-context share ~ two-thirds (Section 4.2's observation).
+    assert shares[(1, "ideal")] == pytest.approx(2 / 3, abs=0.05)
+    assert result.data["random_distance"] == pytest.approx(15.8, abs=0.1)

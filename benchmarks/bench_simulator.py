@@ -1,0 +1,60 @@
+"""Benchmarks: raw simulator throughput and the validation pipeline."""
+
+from repro.analysis.validation import run_validation
+from repro.mapping.families import paper_mapping_suite
+from repro.mapping.strategies import identity_mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.topology.graphs import torus_neighbor_graph
+from repro.topology.torus import Torus
+from repro.workload.synthetic import build_programs
+
+
+def _machine(switching: str, contexts: int = 2) -> Machine:
+    config = SimulationConfig(
+        contexts=contexts,
+        switching=switching,
+        warmup_network_cycles=0,
+        measure_network_cycles=4000,
+    )
+    graph = torus_neighbor_graph(8, 2)
+    programs = build_programs(
+        graph, contexts, config.compute_cycles, config.compute_jitter
+    )
+    return Machine(config, identity_mapping(64), programs)
+
+
+def test_cut_through_simulator_throughput(benchmark):
+    """Network cycles per second, 64-node machine, buffered switches."""
+
+    def run():
+        machine = _machine("cut_through")
+        return machine.run(warmup=500, measure=4000)
+
+    summary = benchmark(run)
+    assert summary.messages_sent > 0
+
+
+def test_wormhole_simulator_throughput(benchmark):
+    """Network cycles per second, 64-node machine, rigid worms."""
+
+    def run():
+        machine = _machine("wormhole")
+        return machine.run(warmup=500, measure=4000)
+
+    summary = benchmark(run)
+    assert summary.messages_sent > 0
+
+
+def test_validation_pipeline_single_context(benchmark):
+    """End-to-end Section 3.3 validation at p = 1 (quick windows)."""
+    torus = Torus(radix=8, dimensions=2)
+    mappings = paper_mapping_suite(torus, adversarial_steps=1500)
+    config = SimulationConfig(
+        contexts=1, warmup_network_cycles=1000, measure_network_cycles=4000
+    )
+
+    report = benchmark.pedantic(
+        run_validation, args=(config, mappings), rounds=1, iterations=1
+    )
+    assert report.mean_rate_error < 0.15

@@ -1,0 +1,55 @@
+"""Microbenchmarks: combined-model solver throughput and consistency.
+
+Not a paper artifact, but the solver sits inside every Section 4 sweep;
+these benchmarks track its cost and double-check the closed-form and
+numeric paths agree at speed.
+"""
+
+import pytest
+
+from repro.core import NodeModel, TorusNetworkModel, solve, solve_quadratic
+
+
+@pytest.fixture(scope="module")
+def models():
+    node = NodeModel(sensitivity=3.26, intercept=90.0)
+    extended = TorusNetworkModel(dimensions=2, message_size=12.0)
+    base = extended.without_extensions()
+    return node, extended, base
+
+
+def test_bisection_solver_throughput(benchmark, models):
+    node, extended, _ = models
+
+    def solve_sweep():
+        return [solve(node, extended, d) for d in range(2, 102)]
+
+    points = benchmark(solve_sweep)
+    assert len(points) == 100
+    assert all(0 < p.utilization < 1 for p in points)
+
+
+def test_quadratic_solver_throughput(benchmark, models):
+    node, _, base = models
+
+    def solve_sweep():
+        return [solve_quadratic(node, base, float(d)) for d in range(3, 103)]
+
+    points = benchmark(solve_sweep)
+    assert len(points) == 100
+
+
+def test_solvers_agree(benchmark, models):
+    node, _, base = models
+
+    def compare():
+        worst = 0.0
+        for d in range(3, 53):
+            numeric = solve(node, base, float(d))
+            closed = solve_quadratic(node, base, float(d))
+            error = abs(numeric.message_rate - closed.message_rate)
+            worst = max(worst, error / closed.message_rate)
+        return worst
+
+    worst = benchmark(compare)
+    assert worst < 1e-7

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (gain vs relative network speed)."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_network_speed_sweep(run_once):
+    result = run_once(table1.run, quick=False)
+    for factor, paper_thousand, paper_million in result.data["paper"]:
+        ours_thousand, ours_million = result.data["reproduced"][factor]
+        assert ours_thousand == pytest.approx(paper_thousand, rel=0.06)
+        assert ours_million == pytest.approx(paper_million, rel=0.06)

@@ -1,0 +1,45 @@
+"""Benchmarks: Eq 17 geometry cross-checks and routing throughput."""
+
+import pytest
+
+from repro.topology.distance import (
+    random_traffic_distance,
+    random_traffic_distance_exact,
+)
+from repro.topology.torus import Torus
+
+
+def test_eq17_closed_form_vs_enumeration(benchmark):
+    """Footnote-2 cross-check: closed form equals exact enumeration."""
+
+    def compare():
+        worst = 0.0
+        for radix in (2, 4, 8, 16, 32):
+            closed = random_traffic_distance(radix, 2)
+            exact = random_traffic_distance_exact(radix, 2)
+            worst = max(worst, abs(closed - exact))
+        return worst
+
+    worst = benchmark(compare)
+    assert worst < 1e-9
+
+
+def test_paper_64_node_distance(benchmark):
+    value = benchmark(random_traffic_distance, 8, 2)
+    assert value == pytest.approx(1024 / 252)
+
+
+def test_ecube_routing_throughput(benchmark):
+    torus = Torus(radix=8, dimensions=2)
+
+    def route_everything():
+        hops = 0
+        for src in torus.nodes():
+            for dst in torus.nodes():
+                if src != dst:
+                    hops += len(torus.ecube_route(src, dst)) - 1
+        return hops
+
+    hops = benchmark(route_everything)
+    # Total pairwise hop count = N * (N-1) * mean distance.
+    assert hops == round(64 * 63 * (1024 / 252))

@@ -1,0 +1,13 @@
+"""Benchmark: the UCL-vs-NUCL comparison (Section 1, quantified)."""
+
+from repro.experiments import ucl_nucl
+
+
+def test_ucl_vs_nucl(run_once):
+    result = run_once(ucl_nucl.run, quick=False)
+    ideal = result.data["ideal"]
+    ucl = result.data["ucl"]
+    ratios = [i / u for i, u in zip(ideal, ucl)]
+    # Ideal NUCL beats UCL everywhere, by a growing margin.
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]

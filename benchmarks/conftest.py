@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper artifact (figure series, table
+rows) and prints the same rows/series the paper reports, so `pytest
+benchmarks/ --benchmark-only -s` doubles as a full reproduction run.
+Simulation-backed experiments run in quick mode to keep the whole suite
+in the minutes range; the full-length versions are available through the
+CLI (`repro-locality run <id>`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under timing and print its report."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        if hasattr(result, "render"):
+            print()
+            print(result.render())
+        return result
+
+    return runner

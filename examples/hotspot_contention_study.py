@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Hot-spot contention: driving the simulator with custom workloads.
+
+Shows the simulator as a general tool rather than a fixed validation
+rig: a parametric hot-spot workload (a growing fraction of reads target
+one thread's block — a lock, a reduction root) runs on the 64-node
+machine, and the measurements expose the convergecast bottleneck that
+no uniform-traffic model predicts: latency and controller queueing blow
+up at the hot node long before average channel utilization looks scary.
+
+Run:  python examples/hotspot_contention_study.py     (~1 minute)
+"""
+
+from repro.analysis.tables import render_table
+from repro.mapping.strategies import identity_mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.topology.graphs import torus_neighbor_graph
+from repro.workload.generators import HotSpotProgram
+
+CONFIG = SimulationConfig(
+    contexts=2,
+    warmup_network_cycles=2000,
+    measure_network_cycles=8000,
+)
+NODES = CONFIG.node_count
+HOT_THREAD = 0
+
+
+def build_hot_spot_programs(hot_fraction):
+    return [
+        [
+            HotSpotProgram(
+                instance=instance,
+                thread=thread,
+                threads=NODES,
+                hot_thread=HOT_THREAD,
+                hot_fraction=hot_fraction,
+                compute_cycles_mean=CONFIG.compute_cycles,
+                compute_jitter=CONFIG.compute_jitter,
+            )
+            for thread in range(NODES)
+        ]
+        for instance in range(CONFIG.contexts)
+    ]
+
+
+rows = []
+for hot_fraction in (0.0, 0.1, 0.25, 0.5, 0.9):
+    machine = Machine(
+        CONFIG, identity_mapping(NODES), build_hot_spot_programs(hot_fraction)
+    )
+    summary = machine.run()
+    hot_messages = machine.stats.per_node_messages.get(HOT_THREAD, 0)
+    mean_messages = summary.messages_sent / NODES
+    rows.append(
+        (
+            f"{hot_fraction:.0%}",
+            round(summary.mean_message_latency, 1),
+            round(summary.channel_utilization, 3),
+            round(summary.mean_issue_interval, 0),
+            round(hot_messages / mean_messages, 1),
+        )
+    )
+
+print(render_table(
+    [
+        "hot fraction",
+        "T_m (net cyc)",
+        "mean channel rho",
+        "t_t (net cyc)",
+        "hot-node traffic vs mean",
+    ],
+    rows,
+    title="Hot-spot sweep on the 64-node machine (p = 2): a growing "
+    "fraction of reads converge on one thread's block",
+))
+print()
+print(
+    "Reading: average channel utilization stays modest while message\n"
+    "latency and issue intervals degrade — the bottleneck is the hot\n"
+    "node's ejection channel and controller, a *non-uniformity* that\n"
+    "mean-field network models (the paper's included) do not see.\n"
+    "This is the flip side of the uniform-traffic assumption that the\n"
+    "ablation-uniformity experiment quantifies."
+)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Latency-tolerance study: what does multithreading buy, and when?
+
+Uses the application model's masking analysis (Eqs 3-4) and the combined
+model to quantify how multiple hardware contexts trade context-switch
+overhead against hidden communication latency — and how the limiting
+per-hop latency (Eq 16) rises in proportion to the sustained number of
+outstanding transactions.
+
+Run:  python examples/latency_tolerance_study.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.application import ApplicationModel
+from repro.experiments.alewife import alewife_system
+
+# ----------------------------------------------------------------------
+# 1. The masking regime (application model only): how much latency can
+#    p contexts hide for a given grain?
+# ----------------------------------------------------------------------
+rows = []
+for grain in (10.0, 50.0, 200.0):
+    for contexts in (1, 2, 4, 8):
+        application = ApplicationModel(
+            grain=grain, contexts=contexts, switch_time=11.0
+        )
+        rows.append(
+            (
+                int(grain),
+                contexts,
+                round(application.masking_threshold, 0),
+                round(application.min_issue_time, 0),
+            )
+        )
+print(render_table(
+    ["grain T_r", "contexts p", "maskable T_t (Eq 3)", "t_t floor (Eq 4)"],
+    rows,
+    title="How much transaction latency block multithreading can hide",
+))
+print()
+
+# ----------------------------------------------------------------------
+# 2. End performance on the calibrated machine: issue rates at a fixed
+#    communication distance as contexts scale.
+# ----------------------------------------------------------------------
+DISTANCE = 8.0
+rows = []
+base_rate = None
+for contexts in (1, 2, 4, 8):
+    system = alewife_system(contexts=contexts)
+    point = system.operating_point(DISTANCE)
+    rate = point.transaction_rate
+    if base_rate is None:
+        base_rate = rate
+    rows.append(
+        (
+            contexts,
+            round(system.latency_sensitivity, 2),
+            round(point.message_latency, 1),
+            round(point.utilization, 3),
+            f"{rate / base_rate:.2f}x",
+        )
+    )
+print(render_table(
+    ["p", "sensitivity s", "T_m (net cyc)", "rho", "throughput vs p=1"],
+    rows,
+    title=f"Combined-model throughput at d = {DISTANCE:.0f} hops",
+))
+print()
+
+# ----------------------------------------------------------------------
+# 3. The flip side (Section 4.1): more outstanding transactions raise
+#    the limiting per-hop latency proportionally — tolerance loads the
+#    network harder, it does not make contention free.
+# ----------------------------------------------------------------------
+rows = []
+for contexts in (1, 2, 4, 8):
+    system = alewife_system(contexts=contexts)
+    rows.append(
+        (
+            contexts,
+            round(system.latency_sensitivity, 2),
+            round(system.limiting_per_hop_latency(), 1),
+        )
+    )
+print(render_table(
+    ["p", "s", "limiting T_h (Eq 16)"],
+    rows,
+    title="Latency tolerance raises the asymptotic per-hop latency",
+))
+print()
+print(
+    "Reading: multithreading buys real throughput (diminishing past the\n"
+    "point where the network, not the processor, is the bottleneck), but\n"
+    "the limiting per-hop latency grows with s — tolerant processors\n"
+    "run their networks hotter, they do not escape the Section 4.1 bound."
+)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Architect's study: when is exploiting physical locality worth it?
+
+Sweeps the calibrated Alewife-like system (Section 3 of the paper)
+across machine sizes, network speeds, and network dimensionality, and
+prints the expected gain from locality-aware thread placement in each
+regime — the Figure 7 / Table 1 analysis as a reusable study.
+
+Run:  python examples/locality_gain_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.sweeps import gain_curve, sweep_network_slowdowns
+from repro.experiments.alewife import alewife_system
+
+SIZES = np.logspace(1, 6, 11)
+
+# ----------------------------------------------------------------------
+# 1. Gain vs machine size, per multithreading level (Figure 7's sweep).
+# ----------------------------------------------------------------------
+curves = {
+    contexts: gain_curve(alewife_system(contexts=contexts), SIZES)
+    for contexts in (1, 2, 4)
+}
+rows = [
+    (
+        f"{int(round(size)):,}",
+        round(curves[1].gains[i], 2),
+        round(curves[2].gains[i], 2),
+        round(curves[4].gains[i], 2),
+    )
+    for i, size in enumerate(SIZES)
+]
+print(render_table(
+    ["machine size N", "gain p=1", "gain p=2", "gain p=4"],
+    rows,
+    title="Expected locality gain vs machine size (ideal vs random mapping)",
+))
+print()
+
+# ----------------------------------------------------------------------
+# 2. Gain vs relative network speed (Table 1's sweep): the slower the
+#    network relative to the processors, the more locality matters.
+# ----------------------------------------------------------------------
+samples = sweep_network_slowdowns(
+    alewife_system(contexts=1), slowdowns=[0.5, 1, 2, 4, 8], sizes=[1e3, 1e6]
+)
+rows = [
+    (
+        f"{sample.network_speedup:g}x processor clock",
+        round(sample.gains_by_size[1e3], 2),
+        round(sample.gains_by_size[1e6], 1),
+    )
+    for sample in samples
+]
+print(render_table(
+    ["network clock", "gain @ 10^3", "gain @ 10^6"],
+    rows,
+    title="Expected locality gain vs relative network speed (p = 1)",
+))
+print()
+
+# ----------------------------------------------------------------------
+# 3. Gain vs network dimensionality: higher-dimensional networks shrink
+#    random-mapping distances, leaving less for locality to save.
+# ----------------------------------------------------------------------
+rows = []
+for dimensions in (2, 3, 4):
+    system = alewife_system(contexts=1, dimensions=dimensions)
+    result = system.expected_gain(65536)
+    rows.append(
+        (
+            dimensions,
+            round(result.random_distance, 1),
+            round(result.gain, 2),
+        )
+    )
+print(render_table(
+    ["network dimension n", "d random @ 64K nodes", "gain"],
+    rows,
+    title="Expected locality gain vs network dimensionality",
+))
+print()
+
+print(
+    "Reading: locality-aware placement buys little below ~1,000 nodes,\n"
+    "roughly 2x at 1,000, and its value then grows linearly in the\n"
+    "distance reduction (Section 4.1's bound) — faster when networks\n"
+    "are slow relative to processors, slower when they are rich."
+)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Map a custom application onto a machine and predict the payoff.
+
+Takes a 2-D stencil application (a non-wrapping grid communication
+graph — deliberately *not* the same shape as the torus machine), tries a
+spectrum of thread-to-processor mappings including a hill-climbed
+optimized one, and uses the combined model to predict end performance
+for each resulting communication distance.
+
+Run:  python examples/mapping_explorer.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.alewife import alewife_system
+from repro.mapping.evaluate import evaluate
+from repro.mapping.optimize import maximize_distance, minimize_distance
+from repro.mapping.strategies import (
+    identity_mapping,
+    random_mapping,
+    stride_mapping,
+)
+from repro.topology.graphs import nearest_neighbor_grid_graph
+from repro.topology.torus import Torus
+
+MACHINE = Torus(radix=8, dimensions=2)
+GRAPH = nearest_neighbor_grid_graph(8, 8)  # 64-thread stencil
+SYSTEM = alewife_system(contexts=2)
+
+candidates = [
+    ("row-major", identity_mapping(64)),
+    ("stride-9", stride_mapping(64, 9)),
+    ("random", random_mapping(64, seed=7)),
+]
+
+print("Hill-climbing an optimized mapping (minimize distance) ...")
+optimized = minimize_distance(
+    GRAPH, MACHINE, random_mapping(64, seed=7), steps=6000, seed=1
+)
+candidates.append(("optimized", optimized.mapping))
+
+print("Hill-climbing an adversarial mapping (maximize distance) ...")
+adversarial = maximize_distance(
+    GRAPH, MACHINE, random_mapping(64, seed=8), steps=6000, seed=2
+)
+candidates.append(("adversarial", adversarial.mapping))
+print()
+
+rows = []
+baseline_rate = None
+for name, mapping in candidates:
+    summary = evaluate(GRAPH, mapping, MACHINE)
+    point = SYSTEM.operating_point(max(summary.average, 1e-6))
+    rate = point.transaction_rate
+    if name == "row-major":
+        baseline_rate = rate
+    rows.append(
+        (
+            name,
+            round(summary.average, 2),
+            summary.maximum,
+            round(point.message_latency, 1),
+            round(rate * 1000, 3),
+            f"{rate / baseline_rate:.2f}x",
+        )
+    )
+
+print(render_table(
+    [
+        "mapping", "avg dist (hops)", "max dist",
+        "predicted T_m", "r_t (txn/kcyc)", "vs row-major",
+    ],
+    rows,
+    title="Stencil application on an 8x8 torus: mapping quality -> "
+    "predicted performance",
+))
+print()
+print(
+    "The stencil's communication graph embeds almost perfectly in the\n"
+    "torus (row-major is already near-optimal); the optimizer confirms\n"
+    "it, and the adversarial mapping shows the full downside risk of\n"
+    "locality-oblivious placement."
+)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Traffic atlas: where the flits actually go, per mapping.
+
+Runs the synthetic application on the 64-node machine under three
+mappings and renders per-link utilization heatmaps.  The pictures tell
+the uniformity story behind the model's accuracy: an ideal mapping
+loads every link identically, a random permutation creates hot links
+(the model's uniform-traffic assumption starts to strain), and an
+adversarial mapping runs the hottest links several times above the mean.
+
+Run:  python examples/network_traffic_atlas.py     (~30 seconds)
+"""
+
+from repro.analysis.linkmap import link_utilization, render_link_heatmap
+from repro.mapping.families import paper_mapping_suite
+from repro.mapping.strategies import identity_mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.topology.graphs import torus_neighbor_graph
+from repro.topology.torus import Torus
+from repro.workload.synthetic import build_programs
+
+CONFIG = SimulationConfig(
+    contexts=2,
+    warmup_network_cycles=2000,
+    measure_network_cycles=8000,
+)
+TORUS = Torus(radix=CONFIG.radix, dimensions=CONFIG.dimensions)
+GRAPH = torus_neighbor_graph(CONFIG.radix, CONFIG.dimensions)
+
+suite = paper_mapping_suite(TORUS, adversarial_steps=3000)
+candidates = [
+    ("ideal", identity_mapping(64)),
+    ("random", next(nm.mapping for nm in suite if nm.name == "random-a")),
+    ("adversarial", suite[-1].mapping),
+]
+
+for name, mapping in candidates:
+    programs = build_programs(
+        GRAPH, CONFIG.contexts, CONFIG.compute_cycles, CONFIG.compute_jitter
+    )
+    machine = Machine(CONFIG, mapping, programs)
+    summary = machine.run()
+    utilization = link_utilization(
+        machine.fabric.link_flits,
+        TORUS,
+        machine.stats.window_cycles,
+        baseline_flits=machine.stats.link_flits_at_reset,
+    )
+    print(f"=== {name} mapping "
+          f"(d = {summary.mean_message_hops:.2f} hops, "
+          f"T_m = {summary.mean_message_latency:.1f} cycles) ===")
+    print(render_link_heatmap(utilization, TORUS))
+    hottest = ", ".join(
+        f"node {node} {'+x -x +y -y'.split()[dim * 2 + (0 if step > 0 else 1)]}"
+        f" @ {value:.2f}"
+        for (node, dim, step), value in utilization.hottest(3)
+    )
+    print(f"hottest links: {hottest}")
+    print()
+
+print(
+    "Reading: the hot factor (peak/mean link load) grows from ~1 under\n"
+    "the ideal mapping to several-fold under the adversarial one. The\n"
+    "analytical model sees only the mean — which is exactly why its\n"
+    "residual error concentrates on the permuted, high-distance runs\n"
+    "(see ablation-uniformity and EXPERIMENTS.md)."
+)

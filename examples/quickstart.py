@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: model an application on a mesh multiprocessor.
+
+Builds the paper's three component models, composes them, and asks the
+combined model the basic questions: how fast does the application run at
+a given communication distance, and what is locality worth as the
+machine scales?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALEWIFE_CLOCKS,
+    ApplicationModel,
+    SystemModel,
+    TorusNetworkModel,
+    TransactionModel,
+    random_traffic_distance,
+)
+
+# ----------------------------------------------------------------------
+# 1. Describe the application: computation grain T_r = 50 processor
+#    cycles between communication transactions, two hardware contexts,
+#    an 11-cycle context switch.
+# ----------------------------------------------------------------------
+application = ApplicationModel(grain=50.0, contexts=2.0, switch_time=11.0)
+
+# 2. Describe the communication mechanism: request/reply coherence
+#    transactions (c = 2 critical-path messages), 3.2 messages per
+#    transaction, 40 processor cycles of fixed protocol overhead.
+transaction = TransactionModel(
+    critical_messages=2.0, messages_per_transaction=3.2, fixed_overhead=40.0
+)
+
+# 3. Describe the network: a 2-D torus with 12-flit messages, switches
+#    clocked twice as fast as processors (the Alewife arrangement).
+network = TorusNetworkModel(dimensions=2, message_size=12.0)
+
+system = SystemModel(
+    application=application,
+    transaction=transaction,
+    network=network,
+    clocks=ALEWIFE_CLOCKS,
+)
+
+print(f"latency sensitivity s = p*g/c = {system.latency_sensitivity:.2f}")
+print(f"limiting per-hop latency (Eq 16) = "
+      f"{system.limiting_per_hop_latency():.2f} network cycles")
+print()
+
+# ----------------------------------------------------------------------
+# Solve the combined model: the feedback fixed point where the node
+# injects exactly as fast as the network's latency lets it.
+# ----------------------------------------------------------------------
+print(f"{'d (hops)':>9} {'T_m':>7} {'T_h':>6} {'rho':>6} "
+      f"{'t_t (proc cyc)':>15}")
+for distance in (1.0, 2.0, 4.0, 8.0, 16.0):
+    point = system.operating_point(distance)
+    print(
+        f"{distance:9.1f} {point.message_latency:7.1f} "
+        f"{point.per_hop_latency:6.2f} {point.utilization:6.3f} "
+        f"{point.issue_time_processor(system.clocks):15.1f}"
+    )
+print()
+
+# ----------------------------------------------------------------------
+# What is exploiting physical locality worth?  Compare an ideal mapping
+# (one hop per message) against a random mapping (Eq 17 distance).
+# ----------------------------------------------------------------------
+print(f"{'N':>10} {'d random':>9} {'expected gain':>14}")
+for processors in (64, 1024, 16384, 262144):
+    result = system.expected_gain(processors)
+    print(
+        f"{processors:>10,} {result.random_distance:9.1f} "
+        f"{result.gain:14.2f}"
+    )
+print()
+print(
+    "64-node sanity check: Eq 17 gives d ="
+    f" {random_traffic_distance(8, 2):.2f} hops for random traffic."
+)

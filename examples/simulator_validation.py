@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validate the analytical model against the cycle-level simulator.
+
+Runs the paper's Section 3 experiment end to end at one context count:
+simulate the synthetic torus-neighbor application on a 64-node machine
+under a suite of thread-to-processor mappings, fit the measured
+application message curve, solve the combined model at each mapping's
+communication distance, and compare rates and latencies.
+
+Run:  python examples/simulator_validation.py        (~1 minute)
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.validation import run_validation
+from repro.mapping.families import paper_mapping_suite
+from repro.sim.config import SimulationConfig
+from repro.topology.torus import Torus
+
+CONFIG = SimulationConfig(
+    contexts=2,
+    warmup_network_cycles=3000,
+    measure_network_cycles=12000,
+)
+
+print("Building the mapping suite (ideal ... adversarial) ...")
+torus = Torus(radix=CONFIG.radix, dimensions=CONFIG.dimensions)
+mappings = paper_mapping_suite(torus)
+print(f"  {len(mappings)} mappings, distances "
+      f"{mappings[0].distance:.2f} .. {mappings[-1].distance:.2f} hops")
+
+print(f"Simulating {len(mappings)} machine runs "
+      f"({CONFIG.total_network_cycles:,} network cycles each) ...")
+report = run_validation(CONFIG)
+
+print()
+print(f"fitted latency sensitivity s = {report.curve.sensitivity:.2f} "
+      f"(R^2 = {report.curve.fit.r_squared:.4f})")
+print(f"measured mean message size B = {report.message_size:.1f} flits "
+      f"(paper: 12)")
+print()
+
+rows = [
+    (
+        row.name,
+        round(row.distance, 2),
+        round(row.simulated.message_rate * 1000, 2),
+        round(row.predicted.message_rate * 1000, 2),
+        f"{row.rate_error * 100:+.1f}%",
+        round(row.simulated.mean_message_latency, 1),
+        round(row.predicted.message_latency, 1),
+    )
+    for row in report.rows
+]
+print(render_table(
+    [
+        "mapping", "d", "sim r_m (msg/kcyc)", "model r_m", "err",
+        "sim T_m", "model T_m",
+    ],
+    rows,
+    title="Model vs simulation, two hardware contexts",
+))
+print()
+print(f"mean |rate error| = {report.mean_rate_error:.1%}, "
+      f"max |latency error| = {report.max_latency_error_cycles:.1f} "
+      "network cycles")

@@ -1,0 +1,102 @@
+"""repro — reproduction of Johnson, "The Impact of Communication Locality
+on Large-Scale Multiprocessor Performance" (ISCA 1992).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's analytical modeling framework
+  (application, transaction, network models; combined-model solver;
+  locality-gain metrics and asymptotic results);
+* :mod:`repro.topology` / :mod:`repro.mapping` — discrete torus geometry,
+  communication graphs, and thread-to-processor mappings;
+* :mod:`repro.sim` — a cycle-level multiprocessor simulator (multithreaded
+  processors, directory cache coherence, wormhole-routed torus network)
+  used to validate the model as Section 3 of the paper does;
+* :mod:`repro.workload` — the paper's synthetic torus-neighbor application
+  and other traffic generators;
+* :mod:`repro.analysis` — curve fitting and model-vs-simulation comparison;
+* :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart::
+
+    from repro import alewife_system
+
+    system = alewife_system(contexts=2)
+    point = system.operating_point(distance=4.06)   # random mapping, 64 nodes
+    print(point.message_latency, point.per_hop_latency)
+    print(system.expected_gain(1000).gain)           # ~2, per the paper
+"""
+
+from repro.core import (
+    ApplicationModel,
+    GainResult,
+    NodeModel,
+    OperatingPoint,
+    SystemModel,
+    TorusNetworkModel,
+    TransactionModel,
+    expected_gain,
+    limiting_per_hop_latency,
+    solve,
+)
+from repro.errors import (
+    ConvergenceError,
+    MappingError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    SaturationError,
+    SimulationError,
+    TopologyError,
+)
+from repro.mapping import Mapping, average_distance, paper_mapping_suite
+from repro.topology import Torus, random_traffic_distance
+from repro.units import ALEWIFE_CLOCKS, EQUAL_CLOCKS, ClockDomain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core modeling framework
+    "ApplicationModel",
+    "TransactionModel",
+    "TorusNetworkModel",
+    "NodeModel",
+    "SystemModel",
+    "OperatingPoint",
+    "GainResult",
+    "solve",
+    "expected_gain",
+    "limiting_per_hop_latency",
+    # geometry and mappings
+    "Torus",
+    "random_traffic_distance",
+    "Mapping",
+    "average_distance",
+    "paper_mapping_suite",
+    # clocks
+    "ClockDomain",
+    "ALEWIFE_CLOCKS",
+    "EQUAL_CLOCKS",
+    # errors
+    "ReproError",
+    "ParameterError",
+    "SaturationError",
+    "ConvergenceError",
+    "TopologyError",
+    "MappingError",
+    "SimulationError",
+    "ProtocolError",
+    # calibrated systems (populated lazily to avoid import cycles)
+    "alewife_system",
+]
+
+
+def alewife_system(contexts: float = 1.0, **overrides):
+    """The calibrated Alewife-like system of Section 3 (lazy import).
+
+    See :func:`repro.experiments.alewife.alewife_system` for the full
+    parameter documentation.
+    """
+    from repro.experiments.alewife import alewife_system as _factory
+
+    return _factory(contexts=contexts, **overrides)

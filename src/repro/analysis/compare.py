@@ -1,0 +1,113 @@
+"""Side-by-side comparison of system configurations.
+
+The paper's Section 2.6 closes with exactly this operation: "the
+performance obtained with two different machine configurations can be
+compared by computing the ratio of the aggregate performance obtained in
+each case."  :func:`compare_systems` does it across a range of
+communication distances and renders the ratio table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.system import SystemModel
+from repro.errors import ParameterError
+
+__all__ = ["ComparisonRow", "SystemComparison", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Both systems' operating points at one distance."""
+
+    distance: float
+    baseline_rate: float
+    candidate_rate: float
+    baseline_latency: float
+    candidate_latency: float
+
+    @property
+    def speedup(self) -> float:
+        """Candidate over baseline transaction rate (both per *processor*
+        cycle, so differing clock domains compare fairly)."""
+        return self.candidate_rate / self.baseline_rate
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """A distance sweep comparing two systems."""
+
+    baseline_label: str
+    candidate_label: str
+    rows: List[ComparisonRow]
+
+    @property
+    def speedups(self) -> List[float]:
+        return [row.speedup for row in self.rows]
+
+    def render(self) -> str:
+        """Tabulate rates (per processor kilocycle) and the speedup."""
+        table_rows = [
+            (
+                round(row.distance, 2),
+                round(row.baseline_rate * 1000, 3),
+                round(row.candidate_rate * 1000, 3),
+                f"{row.speedup:.2f}x",
+            )
+            for row in self.rows
+        ]
+        return render_table(
+            [
+                "d (hops)",
+                f"{self.baseline_label} r_t",
+                f"{self.candidate_label} r_t",
+                "speedup",
+            ],
+            table_rows,
+            title=(
+                f"{self.candidate_label} vs {self.baseline_label} "
+                "(transactions per processor kilocycle)"
+            ),
+        )
+
+
+def compare_systems(
+    baseline: SystemModel,
+    candidate: SystemModel,
+    distances: Sequence[float],
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> SystemComparison:
+    """Solve both systems across ``distances`` and compare.
+
+    Rates are normalized to each system's *processor* clock so machines
+    with different network speeds compare on delivered work, not on
+    network-cycle bookkeeping.
+    """
+    if not distances:
+        raise ParameterError("compare_systems needs at least one distance")
+    rows = []
+    for distance in distances:
+        base_point = baseline.operating_point(float(distance))
+        cand_point = candidate.operating_point(float(distance))
+        rows.append(
+            ComparisonRow(
+                distance=float(distance),
+                baseline_rate=base_point.transaction_rate_processor(
+                    baseline.clocks
+                ),
+                candidate_rate=cand_point.transaction_rate_processor(
+                    candidate.clocks
+                ),
+                baseline_latency=base_point.message_latency,
+                candidate_latency=cand_point.message_latency,
+            )
+        )
+    return SystemComparison(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        rows=rows,
+    )

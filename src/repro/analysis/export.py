@@ -1,0 +1,66 @@
+"""Structured result export: CSV and JSON.
+
+Campaign records, validation reports, and experiment data frequently end
+up in external plotting or statistics tools; these writers keep the
+serialization logic out of the experiment drivers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["rows_to_csv", "records_to_csv", "data_to_json"]
+
+
+def rows_to_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Write header + rows as CSV; returns the path."""
+    if not headers:
+        raise ParameterError("rows_to_csv needs at least one header")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ParameterError(
+                    f"row has {len(row)} cells for {len(headers)} headers"
+                )
+            writer.writerow(row)
+    return path
+
+
+def records_to_csv(path: str, records: Sequence) -> str:
+    """Write objects exposing ``as_dict()`` (e.g. CampaignRecord) as CSV.
+
+    Columns come from the first record's dict, in its key order; every
+    record must produce the same keys.
+    """
+    if not records:
+        raise ParameterError("records_to_csv needs at least one record")
+    dicts: List[Dict] = [record.as_dict() for record in records]
+    headers = list(dicts[0])
+    for index, entry in enumerate(dicts):
+        if list(entry) != headers:
+            raise ParameterError(
+                f"record {index} has keys {list(entry)}; expected {headers}"
+            )
+    return rows_to_csv(
+        path, headers, ([entry[key] for key in headers] for entry in dicts)
+    )
+
+
+def data_to_json(path: str, data: Dict, indent: int = 2) -> str:
+    """Write a result's ``data`` dict as JSON; returns the path.
+
+    Non-serializable values (model objects) are stringified rather than
+    rejected, so experiment ``data`` payloads can be dumped wholesale.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, default=str)
+        handle.write("\n")
+    return path

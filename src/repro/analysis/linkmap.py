@@ -1,0 +1,124 @@
+"""Per-link utilization maps from simulation runs.
+
+The analytical model sees one number — average channel utilization; the
+simulator knows every link's actual traffic.  These helpers expose that
+distribution: summary statistics (max/mean ratio — the hot-link factor
+that explains permutation-traffic model error) and an ASCII heatmap per
+dimension/direction for eyeballing where the load sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ParameterError
+from repro.topology.torus import Torus
+
+__all__ = ["LinkUtilization", "link_utilization", "render_link_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+LinkKey = Tuple[int, int, int]  # (node, dimension, step)
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """Distribution of per-link utilizations over one window."""
+
+    per_link: Dict[LinkKey, float]
+    window_cycles: int
+
+    @property
+    def mean(self) -> float:
+        if not self.per_link:
+            return 0.0
+        return sum(self.per_link.values()) / len(self.per_link)
+
+    @property
+    def peak(self) -> float:
+        return max(self.per_link.values(), default=0.0)
+
+    @property
+    def hot_factor(self) -> float:
+        """Peak over mean — 1.0 for perfectly uniform traffic."""
+        mean = self.mean
+        return self.peak / mean if mean > 0 else 0.0
+
+    def hottest(self, count: int = 5) -> List[Tuple[LinkKey, float]]:
+        """The ``count`` busiest links."""
+        ranked = sorted(
+            self.per_link.items(), key=lambda item: item[1], reverse=True
+        )
+        return ranked[:count]
+
+
+def link_utilization(
+    link_flits: Dict[LinkKey, int],
+    torus: Torus,
+    window_cycles: int,
+    baseline_flits: Dict[LinkKey, int] = None,
+) -> LinkUtilization:
+    """Per-link utilization for every physical link (unused links = 0).
+
+    ``baseline_flits`` subtracts a pre-window snapshot (the fabric's
+    counters are cumulative).
+    """
+    if window_cycles <= 0:
+        raise ParameterError(
+            f"window_cycles must be positive, got {window_cycles!r}"
+        )
+    baseline = baseline_flits or {}
+    per_link: Dict[LinkKey, float] = {}
+    for node in torus.nodes():
+        for dim in range(torus.dimensions):
+            for step in (1, -1):
+                key = (node, dim, step)
+                flits = link_flits.get(key, 0) - baseline.get(key, 0)
+                per_link[key] = flits / window_cycles
+    return LinkUtilization(per_link=per_link, window_cycles=window_cycles)
+
+
+def render_link_heatmap(
+    utilization: LinkUtilization, torus: Torus
+) -> str:
+    """ASCII heatmaps, one grid per (dimension, direction).
+
+    Each cell shades the utilization of the link *leaving* that node in
+    the given direction, scaled to the window's peak.  Works for 1-D and
+    2-D tori (higher dimensions: use :meth:`LinkUtilization.hottest`).
+    """
+    if torus.dimensions > 2:
+        raise ParameterError(
+            "heatmaps render 1-D and 2-D tori; inspect hottest() for "
+            f"{torus.dimensions}-D machines"
+        )
+    peak = utilization.peak
+    steps = len(_SHADES) - 1
+
+    def shade(value: float) -> str:
+        if peak <= 0:
+            return _SHADES[0]
+        return _SHADES[round(value / peak * steps)]
+
+    direction_names = {(0, 1): "+x", (0, -1): "-x", (1, 1): "+y", (1, -1): "-y"}
+    blocks: List[str] = [
+        f"link utilization (peak {peak:.3f}, mean {utilization.mean:.3f}, "
+        f"hot factor {utilization.hot_factor:.1f}x)"
+    ]
+    rows = torus.radix if torus.dimensions == 2 else 1
+    for dim in range(torus.dimensions):
+        for step in (1, -1):
+            name = direction_names.get((dim, step), f"dim{dim}{step:+d}")
+            lines = [f"[{name}]"]
+            for row in range(rows):
+                cells = []
+                for col in range(torus.radix):
+                    if torus.dimensions == 2:
+                        node = torus.node_at((col, row))
+                    else:
+                        node = col
+                    cells.append(shade(utilization.per_link[(node, dim, step)]))
+                lines.append("".join(cells))
+            blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

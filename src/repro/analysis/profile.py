@@ -1,0 +1,100 @@
+"""Locality profiles: mapping quality -> predicted end performance.
+
+Glue between the mapping toolkit and the analytical model: given an
+application's communication graph, a machine, and a set of candidate
+thread-to-processor mappings, compute each mapping's average
+communication distance and the combined model's predicted operating
+point, normalized against the best candidate.  This is the API form of
+the question a locality-aware scheduler asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.combined import OperatingPoint
+from repro.core.system import SystemModel
+from repro.errors import ParameterError
+from repro.mapping.base import Mapping
+from repro.mapping.evaluate import average_distance
+from repro.topology.graphs import CommunicationGraph
+from repro.topology.torus import Torus
+
+__all__ = ["ProfileEntry", "LocalityProfile", "locality_profile"]
+
+#: Collocated-communication floor: the model needs a positive distance,
+#: and sub-hop averages are in the clamped regime anyway.
+_MIN_MODEL_DISTANCE = 1e-3
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One candidate mapping's locality and predicted performance."""
+
+    name: str
+    mapping: Mapping
+    distance: float
+    point: OperatingPoint
+
+    @property
+    def transaction_rate(self) -> float:
+        return self.point.transaction_rate
+
+
+@dataclass(frozen=True)
+class LocalityProfile:
+    """All candidates, sorted best (highest rate) first."""
+
+    entries: List[ProfileEntry]
+
+    @property
+    def best(self) -> ProfileEntry:
+        return self.entries[0]
+
+    @property
+    def worst(self) -> ProfileEntry:
+        return self.entries[-1]
+
+    @property
+    def spread(self) -> float:
+        """Best-to-worst transaction-rate ratio (>= 1)."""
+        return self.best.transaction_rate / self.worst.transaction_rate
+
+    def relative_rate(self, name: str) -> float:
+        """A candidate's rate as a fraction of the best candidate's."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry.transaction_rate / self.best.transaction_rate
+        raise KeyError(f"no candidate named {name!r}")
+
+
+def locality_profile(
+    system: SystemModel,
+    graph: CommunicationGraph,
+    torus: Torus,
+    candidates: Sequence[Tuple[str, Mapping]],
+) -> LocalityProfile:
+    """Profile candidate mappings of ``graph`` on ``torus`` under ``system``.
+
+    The torus dimensionality must match the system's network model
+    (the model's ``k_d = d/n`` conversion depends on it).
+    """
+    if not candidates:
+        raise ParameterError("locality_profile needs at least one candidate")
+    if torus.dimensions != system.network.dimensions:
+        raise ParameterError(
+            f"torus has {torus.dimensions} dimensions but the system's "
+            f"network model has {system.network.dimensions}"
+        )
+    entries = []
+    for name, mapping in candidates:
+        distance = average_distance(graph, mapping, torus)
+        point = system.operating_point(max(distance, _MIN_MODEL_DISTANCE))
+        entries.append(
+            ProfileEntry(
+                name=name, mapping=mapping, distance=distance, point=point
+            )
+        )
+    entries.sort(key=lambda e: e.transaction_rate, reverse=True)
+    return LocalityProfile(entries=entries)

@@ -1,0 +1,137 @@
+"""Command-line interface: ``repro-locality`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``list`` — show the reproducible experiments;
+* ``run <id> [--quick]`` — run one experiment and print its report;
+* ``all [--quick]`` — run every experiment;
+* ``gain --processors N [--contexts P] [--slowdown F]`` — one-off
+  expected-gain query against the calibrated Alewife system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.alewife import alewife_system
+from repro.experiments.runner import experiment_ids, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-locality argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-locality",
+        description=(
+            "Reproduction of Johnson (ISCA 1992): The Impact of "
+            "Communication Locality on Large-Scale Multiprocessor "
+            "Performance"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter simulation windows / coarser sweeps",
+    )
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--quick", action="store_true")
+
+    gain_parser = subparsers.add_parser(
+        "gain", help="expected locality gain for one machine configuration"
+    )
+    gain_parser.add_argument("--processors", type=float, required=True)
+    gain_parser.add_argument("--contexts", type=float, default=1.0)
+    gain_parser.add_argument(
+        "--slowdown", type=float, default=1.0,
+        help="network slowdown factor vs the base architecture",
+    )
+
+    subparsers.add_parser(
+        "symbols", help="print the paper's Appendix A symbol -> API table"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="write a full reproduction report (markdown)"
+    )
+    report_parser.add_argument(
+        "--output", default="reproduction_report.md",
+        help="output path (default: reproduction_report.md)",
+    )
+    report_parser.add_argument(
+        "--full", action="store_true",
+        help="full-length simulation windows (slower)",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for identifier in experiment_ids():
+        print(identifier)
+    return 0
+
+
+def _command_run(identifier: str, quick: bool) -> int:
+    result = run_experiment(identifier, quick=quick)
+    print(result.render())
+    return 0
+
+
+def _command_all(quick: bool) -> int:
+    for result in run_all(quick=quick):
+        print(result.render())
+        print()
+    return 0
+
+
+def _command_gain(processors: float, contexts: float, slowdown: float) -> int:
+    system = alewife_system(contexts=contexts).with_network_slowdown(slowdown)
+    result = system.expected_gain(processors)
+    print(
+        f"N = {processors:g}, p = {contexts:g}, "
+        f"network slowdown = {slowdown:g}x"
+    )
+    print(f"random-mapping distance : {result.random_distance:.2f} hops")
+    print(f"expected locality gain  : {result.gain:.2f}x")
+    return 0
+
+
+def _command_report(output: str, full: bool) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(output, quick=not full)
+    print(f"report written to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.quick)
+    if args.command == "all":
+        return _command_all(args.quick)
+    if args.command == "gain":
+        return _command_gain(args.processors, args.contexts, args.slowdown)
+    if args.command == "report":
+        return _command_report(args.output, args.full)
+    if args.command == "symbols":
+        from repro.nomenclature import describe
+
+        print(describe())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

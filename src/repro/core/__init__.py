@@ -1,0 +1,87 @@
+"""The paper's analytical modeling framework (Section 2).
+
+Component models — :class:`ApplicationModel`, :class:`TransactionModel`,
+:class:`TorusNetworkModel` — compose into a :class:`NodeModel`, which the
+combined-model solver intersects with the network model to find the
+self-consistent :class:`OperatingPoint`.  :class:`SystemModel` is the
+convenient all-in-one entry point.
+"""
+
+from repro.core.application import ApplicationModel
+from repro.core.breakdown import IssueTimeBreakdown, decompose
+from repro.core.combined import (
+    OperatingPoint,
+    open_loop,
+    solve,
+    solve_quadratic,
+    solve_with_floor,
+)
+from repro.core.limits import (
+    PerHopSample,
+    limiting_per_hop_latency,
+    limiting_per_hop_latency_for,
+    per_hop_curve,
+    size_to_reach_fraction,
+)
+from repro.core.metrics import (
+    GainResult,
+    aggregate_performance,
+    expected_gain,
+    expected_gain_for_radix,
+    performance_ratio,
+    useful_work_rate,
+)
+from repro.core.bus import SharedBusModel
+from repro.core.indirect import IndirectNetworkModel
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.core.sweeps import (
+    ContextsSample,
+    DistanceSample,
+    GainCurve,
+    SlowdownSample,
+    gain_curve,
+    logspace_sizes,
+    sweep_contexts,
+    sweep_distances,
+    sweep_network_slowdowns,
+)
+from repro.core.system import SystemModel
+from repro.core.transaction import TransactionModel
+
+__all__ = [
+    "ApplicationModel",
+    "TransactionModel",
+    "TorusNetworkModel",
+    "IndirectNetworkModel",
+    "SharedBusModel",
+    "NodeModel",
+    "OperatingPoint",
+    "SystemModel",
+    "solve",
+    "solve_quadratic",
+    "solve_with_floor",
+    "open_loop",
+    "decompose",
+    "IssueTimeBreakdown",
+    "GainResult",
+    "expected_gain",
+    "expected_gain_for_radix",
+    "performance_ratio",
+    "aggregate_performance",
+    "useful_work_rate",
+    "limiting_per_hop_latency",
+    "limiting_per_hop_latency_for",
+    "per_hop_curve",
+    "PerHopSample",
+    "size_to_reach_fraction",
+    "DistanceSample",
+    "GainCurve",
+    "SlowdownSample",
+    "sweep_distances",
+    "gain_curve",
+    "sweep_network_slowdowns",
+    "ContextsSample",
+    "sweep_contexts",
+    "logspace_sizes",
+]

@@ -1,0 +1,129 @@
+"""Shared-bus network model — the non-scalable baseline.
+
+Section 1's taxonomy starts here: "single-level shared-bus architectures
+are limited by bus bandwidth and are unable to support reasonable
+communication loads from more than a few dozen processors."  This model
+quantifies that claim within the same operating-point framework: a
+single bus serves every node's messages, so the aggregate load is
+``N * r_m`` and the bus saturates when ``N * r_m * B`` approaches 1 —
+per-node bandwidth *shrinks* as the machine grows, unlike the torus
+(constant) or the butterfly (constant, at log-latency cost).
+
+Latency is M/D/1 queueing at the bus (service time ``B``) plus the
+transfer itself:
+
+    ``rho = N * r_m * B``
+    ``T_m = 1 + rho * B / (2 * (1 - rho)) + B``
+
+Like the indirect model, the class implements the torus model's
+operating-point protocol so :func:`repro.core.combined.solve` works
+unchanged — here the **node count ``N`` plays the role of the distance
+argument** (a bus has no distances; what grows with the machine is the
+load on the shared medium).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, SaturationError
+
+__all__ = ["SharedBusModel"]
+
+
+@dataclass(frozen=True)
+class SharedBusModel:
+    """A single split-transaction bus shared by all processors.
+
+    Parameters
+    ----------
+    message_size:
+        ``B`` in flits (bus cycles per message); must be positive.
+    arbitration_cycles:
+        Fixed cycles to win arbitration on an idle bus.
+    """
+
+    message_size: float = 12.0
+    arbitration_cycles: float = 1.0
+    #: Interface parity with the torus model.
+    node_channel_contention: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.message_size > 0:
+            raise ParameterError(
+                f"message_size B must be positive, got {self.message_size!r}"
+            )
+        if self.arbitration_cycles < 0:
+            raise ParameterError(
+                f"arbitration_cycles must be >= 0, "
+                f"got {self.arbitration_cycles!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Operating-point protocol ("distance" = node count N).
+    # ------------------------------------------------------------------
+
+    def _check_nodes(self, nodes: float) -> float:
+        if not nodes >= 1:
+            raise ParameterError(f"node count must be >= 1, got {nodes!r}")
+        return nodes
+
+    def channel_utilization(self, message_rate: float, nodes: float) -> float:
+        """Bus utilization: every node's traffic shares one medium."""
+        self._check_nodes(nodes)
+        if message_rate < 0:
+            raise ParameterError(
+                f"message rate r_m must be >= 0, got {message_rate!r}"
+            )
+        return nodes * message_rate * self.message_size
+
+    def saturation_rate(self, nodes: float) -> float:
+        """Per-node rate at which the bus saturates — falls as 1/N."""
+        self._check_nodes(nodes)
+        return 1.0 / (nodes * self.message_size)
+
+    def max_rate(self, nodes: float) -> float:
+        return self.saturation_rate(nodes)
+
+    def contention_geometry(self, nodes: float) -> float:
+        """Nonzero: the bus always has a load-dependent term."""
+        self._check_nodes(nodes)
+        return 1.0
+
+    def per_hop_latency(self, message_rate: float, nodes: float) -> float:
+        """Arbitration plus M/D/1 waiting for the bus."""
+        rho = self.channel_utilization(message_rate, nodes)
+        if rho >= 1.0:
+            raise SaturationError(
+                f"bus utilization rho = {rho:.4f} >= 1 at "
+                f"r_m = {message_rate:.6g}, N = {nodes:g}"
+            )
+        waiting = rho * self.message_size / (2.0 * (1.0 - rho))
+        return self.arbitration_cycles + waiting
+
+    def node_channel_delay(self, message_rate: float) -> float:
+        return 0.0
+
+    def message_latency(self, message_rate: float, nodes: float) -> float:
+        """``T_m = arbitration + waiting + B``."""
+        return self.per_hop_latency(message_rate, nodes) + self.message_size
+
+    def zero_load_latency(self, nodes: float) -> float:
+        """An uncontended bus: arbitration + transfer.
+
+        The UCL ideal — and the reason buses are beloved at small N.
+        """
+        self._check_nodes(nodes)
+        return self.arbitration_cycles + self.message_size
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def describe(self, message_rate: float, nodes: float) -> dict:
+        return {
+            "nodes": nodes,
+            "rho": self.channel_utilization(message_rate, nodes),
+            "T_m": self.message_latency(message_rate, nodes),
+            "saturation_rate": self.saturation_rate(nodes),
+        }

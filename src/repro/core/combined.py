@@ -1,0 +1,347 @@
+"""The combined model (Section 2.5 of the paper).
+
+The node model (Eq 9) says how much latency a node can *absorb* at a given
+injection rate; the network model (Eq 11) says how much latency the
+network *imposes* at that rate.  The combined model closes the loop:
+nodes "back off" as latencies rise, injecting only at the rate consistent
+with the latency they actually observe.  Formally, the operating point is
+the injection rate ``r_m`` at which the two curves intersect:
+
+    ``s / r_m - intercept  =  T_m_network(r_m, d)``
+
+For the base network model this reduces to a quadratic polynomial in
+``r_m`` (solved in closed form by :func:`solve_quadratic`); with the
+paper's node-channel extension the equation gains an extra rational term,
+so the production solver (:func:`solve`) uses safeguarded bisection on a
+bracket that always exists:
+
+* as ``r_m -> 0+`` the node curve diverges to ``+inf`` while the network
+  curve tends to the finite zero-load latency, and
+* as ``r_m`` approaches the smallest saturation rate the network curve
+  diverges while the node curve stays finite,
+
+so the difference changes sign exactly once (node curve strictly
+decreasing, network curve non-decreasing in ``r_m``).
+
+The solved :class:`OperatingPoint` carries every quantity of interest —
+rates, latencies, utilization, per-hop latency — in network cycles, with a
+conversion helper for the processor time base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.errors import ConvergenceError, ParameterError, SaturationError
+from repro.units import ClockDomain
+
+__all__ = [
+    "OperatingPoint",
+    "solve",
+    "solve_quadratic",
+    "solve_with_floor",
+    "open_loop",
+]
+
+#: Relative width at which bisection declares convergence.
+_RELATIVE_TOLERANCE = 1e-13
+#: Hard cap on bisection iterations (2**-200 of the bracket; unreachable).
+_MAX_ITERATIONS = 200
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Self-consistent solution of the combined model.
+
+    All times are network cycles; all rates are per network cycle.
+    ``distance`` is the average communication distance ``d`` the point was
+    solved for.
+    """
+
+    message_rate: float
+    message_latency: float
+    per_hop_latency: float
+    utilization: float
+    node_channel_delay: float
+    distance: float
+    transaction_rate: float
+    issue_time: float
+    transaction_latency: float
+
+    @property
+    def message_time(self) -> float:
+        """Average inter-message injection time ``t_m = 1 / r_m``."""
+        return 1.0 / self.message_rate
+
+    def transaction_rate_processor(self, clocks: ClockDomain) -> float:
+        """``r_t`` in transactions per *processor* cycle."""
+        return clocks.rate_to_processor(self.transaction_rate)
+
+    def issue_time_processor(self, clocks: ClockDomain) -> float:
+        """``t_t`` in processor cycles."""
+        return clocks.to_processor(self.issue_time)
+
+    def aggregate_performance(self, processors: float) -> float:
+        """``N * r_t`` (Section 2.6's aggregate metric), network time base."""
+        return processors * self.transaction_rate
+
+
+def _make_point(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    message_rate: float,
+    distance: float,
+) -> OperatingPoint:
+    """Populate an :class:`OperatingPoint` from a solved injection rate."""
+    latency = network.message_latency(message_rate, distance)
+    transaction_rate = node.transaction_rate(message_rate)
+    issue_time = node.issue_time(1.0 / message_rate)
+    # Transaction latency follows from the node-model identity
+    # T_m = s * t_m - intercept  <=>  T_t = c * T_m + T_f (all network time),
+    # and since s = p*g/c the cleanest recovery is through the message curve.
+    transaction_latency = node.sensitivity * (1.0 / message_rate) - node.intercept
+    return OperatingPoint(
+        message_rate=message_rate,
+        message_latency=latency,
+        per_hop_latency=network.per_hop_latency(message_rate, distance),
+        utilization=network.channel_utilization(message_rate, distance),
+        node_channel_delay=network.node_channel_delay(message_rate),
+        distance=distance,
+        transaction_rate=transaction_rate,
+        issue_time=issue_time,
+        transaction_latency=transaction_latency,
+    )
+
+
+def _curve_gap(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    message_rate: float,
+    distance: float,
+) -> float:
+    """Node-curve latency minus network-curve latency at ``message_rate``.
+
+    Positive while the node could absorb more latency than the network
+    imposes (i.e. the node would speed up); the operating point is the
+    root.
+    """
+    return node.message_latency_at_rate(message_rate) - network.message_latency(
+        message_rate, distance
+    )
+
+
+def solve(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    distance: float,
+) -> OperatingPoint:
+    """Find the self-consistent operating point for one configuration.
+
+    Uses closed-form solutions where the model permits (constant network
+    latency under the local clamp) and safeguarded bisection otherwise.
+    """
+    if not distance > 0:
+        raise ParameterError(f"distance d must be positive, got {distance!r}")
+
+    ceiling = network.max_rate(distance)
+
+    # Fast path: no contention terms at all => network latency is the
+    # constant d + B and the intersection is linear in r_m.
+    if (
+        network.contention_geometry(distance) == 0.0
+        and not network.node_channel_contention
+    ):
+        rate = node.sensitivity / (node.intercept + network.zero_load_latency(distance))
+        if rate >= network.saturation_rate(distance):
+            raise SaturationError(
+                "clamped model predicts injection beyond channel capacity "
+                f"(r_m = {rate:.6g} >= {network.saturation_rate(distance):.6g}); "
+                "the k_d < 1 clamp is not meaningful at this load"
+            )
+        return _make_point(node, network, rate, distance)
+
+    low = min(1e-12, ceiling * 1e-9)
+    high = ceiling * (1.0 - 1e-9)
+    gap_low = _curve_gap(node, network, low, distance)
+    gap_high = _curve_gap(node, network, high, distance)
+    if gap_low < 0:
+        # The node cannot sustain even an infinitesimal rate profitably;
+        # with a positive sensitivity this cannot happen (node curve
+        # diverges), so reaching here means numerically degenerate input.
+        raise SaturationError(
+            f"no feasible operating point: node curve below network curve "
+            f"at r_m = {low:.3g} (gap {gap_low:.3g})"
+        )
+    if gap_high > 0:
+        # Network curve stays below the node curve all the way to
+        # saturation: only possible when every contention term is finite
+        # at the ceiling (e.g. clamp active but node channels enabled and
+        # the binding ceiling is the mesh channel, where T_h is clamped).
+        # The model then has no interior fixed point; the honest answer
+        # is saturation.
+        raise SaturationError(
+            "operating point lies beyond network saturation "
+            f"(gap at ceiling = {gap_high:.3g}); reduce load or enable "
+            "the contention terms"
+        )
+
+    for _ in range(_MAX_ITERATIONS):
+        mid = 0.5 * (low + high)
+        gap_mid = _curve_gap(node, network, mid, distance)
+        if gap_mid > 0:
+            low = mid
+        else:
+            high = mid
+        if (high - low) <= _RELATIVE_TOLERANCE * high:
+            return _make_point(node, network, 0.5 * (low + high), distance)
+
+    raise ConvergenceError(
+        f"combined-model bisection failed to converge (bracket [{low}, {high}])",
+        residual=_curve_gap(node, network, 0.5 * (low + high), distance),
+    )
+
+
+def solve_quadratic(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    distance: float,
+) -> OperatingPoint:
+    """Closed-form solution of the Section 2.5 quadratic.
+
+    Valid only for the model *without* the node-channel extension (the
+    extension adds a second rational term and the polynomial degree
+    rises).  With the local clamp active the network latency is constant
+    and the quadratic degenerates to the same linear solution ``solve``
+    uses.  Provided both as documentation of the paper's algebra and as an
+    independent cross-check of the numeric solver.
+
+    Degenerate corner: as ``k_d -> 1`` from above, Eq 14's geometry term
+    vanishes and the fixed point may sit within floating-point noise of
+    channel saturation; there the closed form can return the
+    saturation-adjacent root while :func:`solve` (whose bracket stops a
+    hair short of the ceiling) reports :class:`SaturationError`.  Both
+    answers describe the same physics — a bandwidth-pinned point the
+    base model cannot meaningfully resolve.
+    """
+    if network.node_channel_contention:
+        raise ParameterError(
+            "solve_quadratic applies to the base model only; build the "
+            "network with node_channel_contention=False (or use solve())"
+        )
+    if not distance > 0:
+        raise ParameterError(f"distance d must be positive, got {distance!r}")
+
+    k_d = network.per_dimension_distance(distance)
+    size = network.message_size
+    geometry = network.contention_geometry(distance)
+    sensitivity = node.sensitivity
+    intercept = node.intercept
+
+    if geometry == 0.0:
+        return solve(node, network, distance)
+
+    # Derivation: equate  s/r - K = (d + B) + d * beta * B * (a r)/(1 - a r)
+    # with a = B * k_d / 2, multiply through by r (1 - a r):
+    #   A r^2 + Bq r + Cq = 0
+    half_service = size * k_d / 2.0
+    quad_a = half_service * (
+        distance * geometry * size - distance - size - intercept
+    )
+    quad_b = distance + size + intercept + sensitivity * half_service
+    quad_c = -sensitivity
+
+    saturation = network.saturation_rate(distance)
+    root = _physical_root(quad_a, quad_b, quad_c, saturation)
+    if root is None:
+        raise SaturationError(
+            "quadratic has no root in (0, saturation); no feasible "
+            f"operating point at d = {distance:.4g}"
+        )
+    return _make_point(node, network, root, distance)
+
+
+def _physical_root(
+    quad_a: float, quad_b: float, quad_c: float, saturation: float
+) -> Optional[float]:
+    """Root of ``A r**2 + B r + C`` lying strictly inside (0, saturation)."""
+    if quad_a == 0.0:
+        if quad_b == 0.0:
+            return None
+        candidate = -quad_c / quad_b
+        return candidate if 0.0 < candidate < saturation else None
+    discriminant = quad_b * quad_b - 4.0 * quad_a * quad_c
+    if discriminant < 0.0:
+        return None
+    sqrt_disc = discriminant**0.5
+    for candidate in (
+        (-quad_b + sqrt_disc) / (2.0 * quad_a),
+        (-quad_b - sqrt_disc) / (2.0 * quad_a),
+    ):
+        if 0.0 < candidate < saturation:
+            return candidate
+    return None
+
+
+def solve_with_floor(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    distance: float,
+    min_issue_time: float,
+) -> OperatingPoint:
+    """Combined model with the Eq 4 issue-time floor applied.
+
+    The paper drops the floor (``t_t >= T_r + T_s``) because none of its
+    experiments approached it; this variant keeps it for configurations
+    that do (e.g. many contexts, tiny grain, single-hop mappings).  If
+    the unconstrained solution would issue faster than the floor allows,
+    the processor — not the network — is the bottleneck: the point is
+    re-pinned to the floor rate, with the message latency read off the
+    *network* curve there (the node curve no longer applies; the
+    processor simply isn't latency-bound).
+
+    ``min_issue_time`` is ``t_t``'s floor in **network cycles**
+    (``clocks.to_network(T_r + T_s)`` for block multithreading).
+    """
+    if not min_issue_time > 0:
+        raise ParameterError(
+            f"min_issue_time must be positive, got {min_issue_time!r}"
+        )
+    free = solve(node, network, distance)
+    if free.issue_time >= min_issue_time:
+        return free
+    # A binding floor always *lowers* the injection rate below the free
+    # solution's (already feasible) rate, so the pinned point is feasible
+    # by construction.
+    floor_rate = node.messages_per_transaction / min_issue_time
+    latency = network.message_latency(floor_rate, distance)
+    return OperatingPoint(
+        message_rate=floor_rate,
+        message_latency=latency,
+        per_hop_latency=network.per_hop_latency(floor_rate, distance),
+        utilization=network.channel_utilization(floor_rate, distance),
+        node_channel_delay=network.node_channel_delay(floor_rate),
+        distance=distance,
+        transaction_rate=1.0 / min_issue_time,
+        issue_time=min_issue_time,
+        transaction_latency=node.sensitivity * min_issue_time
+        / node.messages_per_transaction - node.intercept,
+    )
+
+
+def open_loop(
+    network: TorusNetworkModel,
+    message_rate: float,
+    distance: float,
+) -> float:
+    """Message latency at a *fixed* injection rate (Agarwal's usage).
+
+    This is the no-feedback evaluation the paper contrasts against
+    (Section 5): the latency the network would impose if nodes kept
+    injecting at ``message_rate`` regardless of what they observe.
+    Diverges (raises :class:`SaturationError`) beyond saturation, which is
+    precisely the behavior the combined model's feedback eliminates.
+    """
+    return network.message_latency(message_rate, distance)

@@ -1,0 +1,149 @@
+"""Indirect (multistage) network model — the UCL counterpart.
+
+Section 2.4 notes the framework "can easily accommodate models for other
+types of packet-switched networks such as that for indirect networks
+given in [8]" (Agarwal's companion analysis).  This module provides that
+model: a buffered, packet-switched k-ary butterfly/banyan, the canonical
+*uniform communication latency* (UCL) network of the paper's
+introduction — every source/destination pair crosses the same
+``ceil(log_k N)`` switch stages, so there is no physical locality to
+exploit, and all latency grows with machine size.
+
+Per stage, a message waits in an M/D/1-style queue for its output link
+(service time ``B`` flits, per-link utilization ``rho = r_m * B`` for
+uniform traffic — a k-ary banyan has exactly one stage-link per node) and
+pays one switch cycle:
+
+    ``T_stage = 1 + rho * B / (2 * (1 - rho)) * (1 - 1/k)``
+    ``T_m     = stages * T_stage + B``
+
+The ``(1 - 1/k)`` factor is the standard banyan correction (a fraction
+``1/k`` of arrivals continue straight through a k x k switch without
+conflicting).
+
+The class implements the same operating-point protocol as
+:class:`~repro.core.network.TorusNetworkModel`, with the **number of
+stages playing the role of the distance argument** — use
+:meth:`stages_for` to derive it from the machine size — so
+:func:`repro.core.combined.solve` closes the application/network feedback
+loop over it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, SaturationError
+
+__all__ = ["IndirectNetworkModel"]
+
+
+@dataclass(frozen=True)
+class IndirectNetworkModel:
+    """Buffered k-ary multistage (butterfly/banyan) network model.
+
+    Parameters
+    ----------
+    switch_radix:
+        ``k``, the switch degree; must be >= 2.  Stages for an N-node
+        machine: ``ceil(log_k N)``.
+    message_size:
+        ``B`` in flits; must be positive.
+    """
+
+    switch_radix: int = 2
+    message_size: float = 12.0
+    #: Interface parity with the torus model (no node-channel extension).
+    node_channel_contention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.switch_radix < 2:
+            raise ParameterError(
+                f"switch_radix k must be >= 2, got {self.switch_radix!r}"
+            )
+        if not self.message_size > 0:
+            raise ParameterError(
+                f"message_size B must be positive, got {self.message_size!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry.
+    # ------------------------------------------------------------------
+
+    def stages_for(self, processors: float) -> int:
+        """``ceil(log_k N)`` switch stages for an N-node machine."""
+        if not processors > 1:
+            raise ParameterError(
+                f"machine size N must exceed 1, got {processors!r}"
+            )
+        return max(1, math.ceil(math.log(processors, self.switch_radix) - 1e-9))
+
+    def _check_stages(self, stages: float) -> float:
+        if not stages > 0:
+            raise ParameterError(f"stages must be positive, got {stages!r}")
+        return stages
+
+    # ------------------------------------------------------------------
+    # Operating-point protocol (stages stand in for "distance").
+    # ------------------------------------------------------------------
+
+    def channel_utilization(self, message_rate: float, stages: float) -> float:
+        """Per-link utilization ``rho = r_m * B`` (one link per node)."""
+        self._check_stages(stages)
+        if message_rate < 0:
+            raise ParameterError(
+                f"message rate r_m must be >= 0, got {message_rate!r}"
+            )
+        return message_rate * self.message_size
+
+    def saturation_rate(self, stages: float) -> float:
+        """Injection rate at which stage links saturate."""
+        self._check_stages(stages)
+        return 1.0 / self.message_size
+
+    def max_rate(self, stages: float) -> float:
+        return self.saturation_rate(stages)
+
+    def contention_geometry(self, stages: float) -> float:
+        """Banyan conflict factor ``1 - 1/k`` (never zero: no fast path)."""
+        self._check_stages(stages)
+        return 1.0 - 1.0 / self.switch_radix
+
+    def per_hop_latency(self, message_rate: float, stages: float) -> float:
+        """Per-stage latency ``T_stage`` (switch cycle + queueing)."""
+        rho = self.channel_utilization(message_rate, stages)
+        if rho >= 1.0:
+            raise SaturationError(
+                f"stage-link utilization rho = {rho:.4f} >= 1 at "
+                f"r_m = {message_rate:.6g}"
+            )
+        waiting = rho * self.message_size / (2.0 * (1.0 - rho))
+        return 1.0 + waiting * self.contention_geometry(stages)
+
+    def node_channel_delay(self, message_rate: float) -> float:
+        """No separate node-channel term (the first stage is the entry)."""
+        return 0.0
+
+    def message_latency(self, message_rate: float, stages: float) -> float:
+        """``T_m = stages * T_stage + B``."""
+        return stages * self.per_hop_latency(message_rate, stages) + self.message_size
+
+    def zero_load_latency(self, stages: float) -> float:
+        """``stages + B`` — identical for *every* node pair (UCL)."""
+        self._check_stages(stages)
+        return stages + self.message_size
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def describe(self, message_rate: float, stages: float) -> dict:
+        """All intermediate quantities at one operating point."""
+        return {
+            "stages": stages,
+            "rho": self.channel_utilization(message_rate, stages),
+            "T_stage": self.per_hop_latency(message_rate, stages),
+            "T_m": self.message_latency(message_rate, stages),
+            "saturation_rate": self.saturation_rate(stages),
+        }

@@ -1,0 +1,202 @@
+"""Asymptotic network behavior under feedback (Section 4.1, Eq 16).
+
+The paper's first analytical result: with a *finite* latency sensitivity
+``s`` (i.e. a bounded number of outstanding transactions per processor),
+the feedback between application and network keeps channel utilization
+below saturation no matter how large the machine grows.  As the average
+communication distance ``d`` increases, the average per-hop latency
+approaches the constant
+
+    ``T_h -> s * B / (2 * n)``        (Eq 16)
+
+(or 1, if ``s * B / (2n) < 1`` — the network is then never stressed).
+Intuition: in the communication-bound regime ``r_m ~ s / T_m`` and
+``T_m ~ d * T_h``, so channel utilization ``rho = r_m * B * d / (2n)``
+tends to ``s * B / (2 n T_h)``; the only self-consistent limit pushes
+``rho -> 1`` with ``T_h`` pinned at Eq 16's value.
+
+Because ``T_h`` is asymptotically constant, **communication latency is
+linear in communication distance**, which is what bounds locality gains
+to (at most) the distance-reduction factor.  This module provides the
+limit itself and helpers to measure how quickly machines approach it
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.combined import OperatingPoint, solve
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.errors import ParameterError
+from repro.topology.distance import random_traffic_distance_for_size
+
+__all__ = [
+    "limiting_per_hop_latency",
+    "limiting_per_hop_latency_for",
+    "PerHopSample",
+    "per_hop_curve",
+    "size_to_reach_fraction",
+    "bandwidth_bound_issue_time",
+    "bandwidth_gain_ceiling",
+]
+
+
+def limiting_per_hop_latency(
+    sensitivity: float, message_size: float, dimensions: int
+) -> float:
+    """Eq 16: the asymptotic per-hop latency ``max(1, s * B / (2 n))``.
+
+    With the paper's validated parameters (``s = 3.26``, ``B = 12``,
+    ``n = 2``) this is 9.78 network cycles — the "approximately 9.8"
+    quoted for Figure 6.
+    """
+    if not sensitivity > 0:
+        raise ParameterError(f"sensitivity s must be positive, got {sensitivity!r}")
+    if not message_size > 0:
+        raise ParameterError(
+            f"message_size B must be positive, got {message_size!r}"
+        )
+    if dimensions < 1:
+        raise ParameterError(f"dimensions n must be >= 1, got {dimensions!r}")
+    return max(1.0, sensitivity * message_size / (2.0 * dimensions))
+
+
+def limiting_per_hop_latency_for(
+    node: NodeModel, network: TorusNetworkModel
+) -> float:
+    """Eq 16 evaluated from composed model objects."""
+    return limiting_per_hop_latency(
+        node.sensitivity, network.message_size, network.dimensions
+    )
+
+
+@dataclass(frozen=True)
+class PerHopSample:
+    """One point of a Figure 6-style curve."""
+
+    processors: float
+    distance: float
+    point: OperatingPoint
+
+    @property
+    def per_hop_latency(self) -> float:
+        return self.point.per_hop_latency
+
+
+def per_hop_curve(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    sizes: Sequence[float],
+) -> list:
+    """``T_h`` vs machine size under random mappings (Figure 6).
+
+    Each machine size ``N`` maps to the Eq 17 random-traffic distance for
+    the continuous radix ``N**(1/n)``; the combined model is solved there
+    and the per-hop latency read off the operating point.
+    """
+    samples = []
+    for processors in sizes:
+        distance = random_traffic_distance_for_size(
+            processors, network.dimensions
+        )
+        point = solve(node, network, distance)
+        samples.append(
+            PerHopSample(processors=float(processors), distance=distance, point=point)
+        )
+    return samples
+
+
+def size_to_reach_fraction(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    fraction: float,
+    max_processors: float = 1e9,
+) -> float:
+    """Smallest machine size whose ``T_h`` reaches ``fraction`` of Eq 16.
+
+    Used to check the paper's claim that the small-grain application
+    reaches over 80 % of the limiting value "with a few thousand
+    processors".  Searches by bisection on ``log N``; raises
+    :class:`ParameterError` if the fraction is not reached by
+    ``max_processors``.
+    """
+    if not 0 < fraction < 1:
+        raise ParameterError(
+            f"fraction must lie strictly in (0, 1), got {fraction!r}"
+        )
+    limit = limiting_per_hop_latency_for(node, network)
+    target = fraction * limit
+
+    def per_hop(processors: float) -> float:
+        distance = random_traffic_distance_for_size(
+            processors, network.dimensions
+        )
+        return solve(node, network, distance).per_hop_latency
+
+    low, high = 2.0, float(max_processors)
+    if per_hop(high) < target:
+        raise ParameterError(
+            f"per-hop latency does not reach {fraction:.0%} of its limit "
+            f"by N = {max_processors:g}"
+        )
+    if per_hop(low) >= target:
+        return low
+    for _ in range(200):
+        mid = (low * high) ** 0.5
+        if per_hop(mid) >= target:
+            high = mid
+        else:
+            low = mid
+        if high / low < 1.0 + 1e-9:
+            break
+    return high
+
+
+def bandwidth_bound_issue_time(
+    node: NodeModel, network: TorusNetworkModel, distance: float
+) -> float:
+    """Asymptotic issue-time floor from network bandwidth, network cycles.
+
+    In the deep communication-bound regime the feedback drives channel
+    utilization toward 1, pinning the injection rate at the Eq 10
+    capacity ``r_m = 2 / (B * k_d)`` — *independently of the latency
+    sensitivity* — so the issue time approaches
+
+        ``t_t >= g * B * k_d / 2``
+
+    This is why the Figure 7 curves for different context counts
+    converge: once the randomly-mapped application saturates the mesh,
+    extra outstanding transactions cannot buy throughput, only latency.
+    """
+    k_d = network.per_dimension_distance(distance)
+    return (
+        node.messages_per_transaction * network.message_size * k_d / 2.0
+    )
+
+
+def bandwidth_gain_ceiling(
+    network: TorusNetworkModel, processors: float, ideal_distance: float = 1.0
+) -> float:
+    """Upper bound on the locality gain from bandwidth alone.
+
+    The randomly-mapped application can never issue faster than the
+    bandwidth bound at the Eq 17 distance, while the ideally-mapped one
+    is at worst bound at ``ideal_distance`` — their ratio bounds the
+    gain no matter how small the computation grain:
+
+        ``gain <= d_random / d_ideal``  (k_d ratio)
+
+    which is the "linear in the factor by which communication distance
+    is reduced" statement of Section 4.1 in bandwidth form.
+    """
+    random_distance = random_traffic_distance_for_size(
+        processors, network.dimensions
+    )
+    if not ideal_distance > 0:
+        raise ParameterError(
+            f"ideal_distance must be positive, got {ideal_distance!r}"
+        )
+    return random_distance / ideal_distance

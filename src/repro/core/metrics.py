@@ -1,0 +1,134 @@
+"""Performance metrics and locality-gain comparisons (Section 2.6).
+
+The paper's metric of per-processor performance is the average transaction
+issue rate ``r_t = 1 / t_t``: with the computation grain ``T_r`` held
+constant, useful work is done at rate ``T_r / t_t``, which is proportional
+to ``r_t``.  Aggregate performance of an ``N``-processor machine is
+``N * r_t``, and two configurations are compared by the ratio of their
+aggregate performance.
+
+The headline comparison (Section 4.2) is the **expected gain from
+exploiting physical locality**: the ratio of the transaction rate under an
+*ideal* mapping (every communication one hop) to that under a *random*
+mapping (uniform traffic at the Eq 17 distance) for the same application
+and machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.combined import OperatingPoint, solve
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.errors import ParameterError
+from repro.topology.distance import (
+    random_traffic_distance,
+    random_traffic_distance_for_size,
+)
+
+__all__ = [
+    "useful_work_rate",
+    "aggregate_performance",
+    "performance_ratio",
+    "GainResult",
+    "expected_gain",
+    "expected_gain_for_radix",
+]
+
+
+def useful_work_rate(point: OperatingPoint, grain_network: float) -> float:
+    """Fraction of time spent on useful work, ``T_r / t_t``.
+
+    ``grain_network`` is the computation grain expressed in network cycles
+    (the time base of ``point``).  Dimensionless, in (0, 1].
+    """
+    if not grain_network > 0:
+        raise ParameterError(
+            f"grain must be positive, got {grain_network!r}"
+        )
+    return grain_network / point.issue_time
+
+
+def aggregate_performance(point: OperatingPoint, processors: float) -> float:
+    """``N * r_t`` in transactions per network cycle (Section 2.6)."""
+    if not processors > 0:
+        raise ParameterError(f"processors N must be positive, got {processors!r}")
+    return processors * point.transaction_rate
+
+
+def performance_ratio(numerator: OperatingPoint, denominator: OperatingPoint) -> float:
+    """Ratio of transaction rates — the paper's configuration comparator.
+
+    Machine size cancels when both points describe the same machine, so
+    the per-processor rate ratio equals the aggregate ratio.
+    """
+    return numerator.transaction_rate / denominator.transaction_rate
+
+
+@dataclass(frozen=True)
+class GainResult:
+    """Expected gain from exploiting physical locality at one machine size."""
+
+    processors: float
+    ideal_distance: float
+    random_distance: float
+    ideal: OperatingPoint
+    random: OperatingPoint
+
+    @property
+    def gain(self) -> float:
+        """Transaction-rate ratio, ideal over random mapping."""
+        return performance_ratio(self.ideal, self.random)
+
+    @property
+    def distance_ratio(self) -> float:
+        """How much the ideal mapping shortens communication."""
+        return self.random_distance / self.ideal_distance
+
+
+def expected_gain(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    processors: float,
+    ideal_distance: float = 1.0,
+) -> GainResult:
+    """Expected gain for a machine of ``processors`` nodes (Figure 7).
+
+    The random-mapping distance comes from Eq 17 with the continuous
+    radix ``N**(1/n)``; the ideal mapping communicates over
+    ``ideal_distance`` hops (1 for the paper's torus-neighbor
+    application).
+    """
+    if not ideal_distance > 0:
+        raise ParameterError(
+            f"ideal_distance must be positive, got {ideal_distance!r}"
+        )
+    random_distance = random_traffic_distance_for_size(
+        processors, network.dimensions
+    )
+    return GainResult(
+        processors=processors,
+        ideal_distance=ideal_distance,
+        random_distance=random_distance,
+        ideal=solve(node, network, ideal_distance),
+        random=solve(node, network, random_distance),
+    )
+
+
+def expected_gain_for_radix(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    radix: float,
+    ideal_distance: float = 1.0,
+) -> GainResult:
+    """Expected gain with the machine specified by its radix instead of N."""
+    random_distance = random_traffic_distance(radix, network.dimensions)
+    processors = float(radix) ** network.dimensions
+    return GainResult(
+        processors=processors,
+        ideal_distance=ideal_distance,
+        random_distance=random_distance,
+        ideal=solve(node, network, ideal_distance),
+        random=solve(node, network, random_distance),
+    )

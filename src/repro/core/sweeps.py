@@ -1,0 +1,171 @@
+"""Parameter-sweep utilities shared by the Section 4 experiments.
+
+Each sweep returns a list of small frozen records rather than bare arrays
+so that experiment drivers, benchmarks, and examples can render the same
+results without re-deriving which column is which.  Conversions to numpy
+arrays are provided where plotting-style consumers want columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.combined import OperatingPoint
+from repro.core.metrics import GainResult
+from repro.core.system import SystemModel
+
+__all__ = [
+    "DistanceSample",
+    "sweep_distances",
+    "GainCurve",
+    "gain_curve",
+    "SlowdownSample",
+    "sweep_network_slowdowns",
+    "ContextsSample",
+    "sweep_contexts",
+    "logspace_sizes",
+]
+
+
+@dataclass(frozen=True)
+class DistanceSample:
+    """Operating point solved at one average communication distance."""
+
+    distance: float
+    point: OperatingPoint
+
+
+def sweep_distances(
+    system: SystemModel, distances: Sequence[float]
+) -> List[DistanceSample]:
+    """Solve the combined model across a range of distances (Figures 4-5)."""
+    return [
+        DistanceSample(distance=float(d), point=system.operating_point(float(d)))
+        for d in distances
+    ]
+
+
+@dataclass(frozen=True)
+class GainCurve:
+    """Expected-gain results across machine sizes for one system."""
+
+    label: str
+    results: List[GainResult]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return np.array([r.processors for r in self.results])
+
+    @property
+    def gains(self) -> np.ndarray:
+        return np.array([r.gain for r in self.results])
+
+    def gain_at(self, processors: float, tolerance: float = 1e-6) -> float:
+        """Gain at an exactly-swept machine size."""
+        for result in self.results:
+            if abs(result.processors - processors) <= tolerance * processors:
+                return result.gain
+        raise KeyError(f"machine size {processors!r} was not swept")
+
+
+def gain_curve(
+    system: SystemModel,
+    sizes: Sequence[float],
+    label: str = "",
+    ideal_distance: float = 1.0,
+) -> GainCurve:
+    """Expected gain vs machine size (the Figure 7 sweep)."""
+    results = [
+        system.expected_gain(float(n), ideal_distance=ideal_distance) for n in sizes
+    ]
+    return GainCurve(label=label, results=results)
+
+
+@dataclass(frozen=True)
+class SlowdownSample:
+    """Expected gains at one relative network speed (one Table 1 row)."""
+
+    slowdown: float
+    network_speedup: float
+    gains_by_size: dict
+
+
+def sweep_network_slowdowns(
+    system: SystemModel,
+    slowdowns: Sequence[float],
+    sizes: Sequence[float],
+    ideal_distance: float = 1.0,
+) -> List[SlowdownSample]:
+    """Expected gain vs relative network speed (the Table 1 sweep).
+
+    ``slowdowns`` are factors applied to the system's baseline network
+    clock: 1.0 reproduces the base architecture, 2.0 halves the network
+    speed, and so on.
+    """
+    samples = []
+    for factor in slowdowns:
+        slowed = system.with_network_slowdown(float(factor))
+        gains = {
+            float(n): slowed.expected_gain(
+                float(n), ideal_distance=ideal_distance
+            ).gain
+            for n in sizes
+        }
+        samples.append(
+            SlowdownSample(
+                slowdown=float(factor),
+                network_speedup=slowed.clocks.network_speedup,
+                gains_by_size=gains,
+            )
+        )
+    return samples
+
+
+@dataclass(frozen=True)
+class ContextsSample:
+    """One multithreading level's operating point and derived metrics."""
+
+    contexts: float
+    sensitivity: float
+    point: OperatingPoint
+    limiting_per_hop: float
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per network cycle at the solved point."""
+        return self.point.transaction_rate
+
+
+def sweep_contexts(
+    system: SystemModel,
+    contexts: Sequence[float],
+    distance: float,
+) -> List[ContextsSample]:
+    """Operating points across multithreading levels at a fixed distance.
+
+    The latency-tolerance trade in one sweep: throughput rises with
+    ``p`` (with diminishing returns once the network binds) while the
+    Eq 16 limiting per-hop latency rises proportionally to ``s``.
+    """
+    samples = []
+    for p in contexts:
+        variant = system.with_contexts(float(p))
+        samples.append(
+            ContextsSample(
+                contexts=float(p),
+                sensitivity=variant.latency_sensitivity,
+                point=variant.operating_point(distance),
+                limiting_per_hop=variant.limiting_per_hop_latency(),
+            )
+        )
+    return samples
+
+
+def logspace_sizes(
+    start: float = 10.0, stop: float = 1e6, count: int = 25
+) -> np.ndarray:
+    """Logarithmically spaced machine sizes, as Figures 6-7 plot them."""
+    return np.logspace(np.log10(start), np.log10(stop), count)

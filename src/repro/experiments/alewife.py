@@ -1,0 +1,219 @@
+"""The calibrated Alewife-like system of Section 3.
+
+The paper validates its model on the MIT Alewife architecture: Sparcle
+processors with four hardware contexts and an 11-cycle context switch, a
+64-kilobyte cache with 16-byte lines, the LimitLESS directory protocol,
+and a radix-8 two-dimensional torus of 8-bit channels clocked twice as
+fast as the processors.  Known-from-the-paper constants:
+
+* ``B = 12`` flits (96-bit coherence messages over 8-bit channels);
+* ``g = 3.2`` messages per transaction;
+* ``c ~= 2`` critical-path messages, measured to grow ~15 % from one
+  context to four (Section 3.3) — we interpolate linearly in ``p``;
+* ``s = 3.26`` for two contexts (Figure 6), pinning ``c(2) = 2g/3.26``;
+* network twice the processor clock; context switch ``T_s = 11``.
+
+The paper does **not** publish the synthetic application's computation
+grain ``T_r`` or the fixed transaction overhead ``T_f`` in cycles; it
+gives structural facts instead: fixed transaction overhead is about
+two-thirds of the total fixed issue-time component and corresponds to
+roughly 1-1.5 microseconds at 33-40 MHz (Section 4.2), and the resulting
+expected gains are ~2 at a thousand processors and ~40-55 at a million
+(Figure 7), with Table 1's exact values for one context.
+
+Calibration (see EXPERIMENTS.md for the fit):
+
+* ``T_r = 8`` processor cycles — "particularly small computation grain";
+* ``T_f = 40 * p`` processor cycles — the fixed transaction *contribution*
+  ``T_f / p`` of Eq 18 stays ~40 cycles (~1.2 us at 33 MHz) in every
+  configuration, which is how Figure 8 describes it, and which is also
+  what makes the Figure 7 gain curves nearly coincide for p = 1, 2, 4
+  (physically: the contexts share one cache/controller, so per-transaction
+  controller occupancy grows with the number of contexts issuing — the
+  same protocol interaction the paper blames for the growth of ``c``);
+* Section 4's modeled values are reproduced by the *base* network model —
+  with these constants Table 1 comes out 2.03/3.10/4.47/5.85 and
+  40.6/67.5/101.1/134.5 against the paper's 2.1/3.1/4.5/5.9 and
+  41.2/68.3/101.6/134.3 — so :func:`alewife_system` disables the
+  node-channel extension by default.  The 64-node *validation* models
+  (Figures 3-5) enable it, where it contributes the 2-5 network cycles
+  the paper reports; use :func:`alewife_validation_system`.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import ApplicationModel
+from repro.core.network import TorusNetworkModel
+from repro.core.system import SystemModel
+from repro.core.transaction import TransactionModel
+from repro.errors import ParameterError
+from repro.units import ALEWIFE_CLOCKS
+
+__all__ = [
+    "MESSAGE_FLITS",
+    "MESSAGES_PER_TRANSACTION",
+    "CONTEXT_SWITCH_CYCLES",
+    "GRAIN_CYCLES",
+    "FIXED_OVERHEAD_CYCLES_PER_CONTEXT",
+    "MACHINE_RADIX",
+    "MACHINE_DIMENSIONS",
+    "critical_messages",
+    "fixed_overhead",
+    "alewife_application",
+    "alewife_transaction",
+    "alewife_network",
+    "alewife_system",
+    "alewife_validation_system",
+]
+
+#: Average message size in flits: 96-bit messages on 8-bit channels.
+MESSAGE_FLITS = 12.0
+
+#: Average messages per coherence transaction (Section 3.2).
+MESSAGES_PER_TRANSACTION = 3.2
+
+#: Sparcle context-switch time in processor cycles.
+CONTEXT_SWITCH_CYCLES = 11.0
+
+#: Calibrated synthetic-application computation grain, processor cycles.
+GRAIN_CYCLES = 8.0
+
+#: Calibrated fixed transaction overhead *per context*, processor cycles:
+#: ``T_f = FIXED_OVERHEAD_CYCLES_PER_CONTEXT * p`` (~1.2 us contribution
+#: per Eq 18 at 33 MHz, matching Section 4.2's 1-1.5 us description).
+FIXED_OVERHEAD_CYCLES_PER_CONTEXT = 40.0
+
+#: The simulated machine: 64 nodes as a radix-8 two-dimensional torus.
+MACHINE_RADIX = 8
+MACHINE_DIMENSIONS = 2
+
+#: Latency sensitivity measured for two contexts (Figure 6): pins c(2).
+_SENSITIVITY_TWO_CONTEXTS = 3.26
+#: Fractional growth of c per additional context (15 % from p=1 to p=4).
+_CRITICAL_GROWTH_PER_CONTEXT = 0.05
+
+
+def critical_messages(contexts: float) -> float:
+    """Critical-path message count ``c`` as a function of ``p``.
+
+    Section 3.3: an interaction between the asynchronous benchmark and
+    the coherence protocol makes ``c`` grow with the number of contexts —
+    15 % from one context to four.  We interpolate linearly and anchor
+    the absolute level so that ``s(2) = p*g/c = 3.26`` exactly.
+    """
+    if not contexts >= 1:
+        raise ParameterError(f"contexts must be >= 1, got {contexts!r}")
+    anchored_at_two = 2.0 * MESSAGES_PER_TRANSACTION / _SENSITIVITY_TWO_CONTEXTS
+    base = anchored_at_two / (1.0 + _CRITICAL_GROWTH_PER_CONTEXT)
+    return base * (1.0 + _CRITICAL_GROWTH_PER_CONTEXT * (contexts - 1.0))
+
+
+def fixed_overhead(contexts: float) -> float:
+    """Calibrated fixed transaction overhead ``T_f(p)``, processor cycles.
+
+    Scales with the number of contexts so the per-transaction
+    *contribution* ``T_f / p`` stays at the ~1.2 us Figure 8 reports in
+    all six validated configurations (see module docstring).
+    """
+    if not contexts >= 1:
+        raise ParameterError(f"contexts must be >= 1, got {contexts!r}")
+    return FIXED_OVERHEAD_CYCLES_PER_CONTEXT * contexts
+
+
+def alewife_application(contexts: float = 1.0) -> ApplicationModel:
+    """The synthetic application on a ``contexts``-way Sparcle."""
+    return ApplicationModel(
+        grain=GRAIN_CYCLES,
+        contexts=contexts,
+        switch_time=CONTEXT_SWITCH_CYCLES,
+    )
+
+
+def alewife_transaction(contexts: float = 1.0) -> TransactionModel:
+    """LimitLESS-style coherence transactions, with the c(p) correction."""
+    return TransactionModel(
+        critical_messages=critical_messages(contexts),
+        messages_per_transaction=MESSAGES_PER_TRANSACTION,
+        fixed_overhead=fixed_overhead(contexts),
+    )
+
+
+def alewife_network(
+    dimensions: int = MACHINE_DIMENSIONS,
+    node_channel_contention: bool = True,
+) -> TorusNetworkModel:
+    """The Alewife mesh model (8-bit channels, 12-flit messages)."""
+    return TorusNetworkModel(
+        dimensions=dimensions,
+        message_size=MESSAGE_FLITS,
+        clamp_local=True,
+        node_channel_contention=node_channel_contention,
+    )
+
+
+def alewife_system(
+    contexts: float = 1.0,
+    dimensions: int = MACHINE_DIMENSIONS,
+    grain: float = None,
+    fixed_overhead: float = None,
+    node_channel_contention: bool = False,
+) -> SystemModel:
+    """The full calibrated system of Section 3 / Section 4.
+
+    Parameters
+    ----------
+    contexts:
+        Degree of multithreading ``p`` (the paper runs 1, 2, and 4).
+    dimensions:
+        Network dimensionality (the paper's machine is 2-D).
+    grain, fixed_overhead:
+        Override the calibrated ``T_r`` / ``T_f`` (processor cycles).
+    node_channel_contention:
+        Off by default — Section 4's modeled values are reproduced by the
+        base network model (see module docstring).  The 64-node
+        validation comparisons enable it via
+        :func:`alewife_validation_system`.
+    """
+    application = alewife_application(contexts)
+    if grain is not None:
+        application = ApplicationModel(
+            grain=grain,
+            contexts=application.contexts,
+            switch_time=application.switch_time,
+        )
+    transaction = alewife_transaction(contexts)
+    if fixed_overhead is not None:
+        transaction = TransactionModel(
+            critical_messages=transaction.critical_messages,
+            messages_per_transaction=transaction.messages_per_transaction,
+            fixed_overhead=fixed_overhead,
+        )
+    return SystemModel(
+        application=application,
+        transaction=transaction,
+        network=alewife_network(
+            dimensions=dimensions,
+            node_channel_contention=node_channel_contention,
+        ),
+        clocks=ALEWIFE_CLOCKS,
+    )
+
+
+def alewife_validation_system(
+    contexts: float = 1.0,
+    grain: float = None,
+    fixed_overhead: float = None,
+) -> SystemModel:
+    """The 64-node validation configuration (Figures 3-5).
+
+    Identical to :func:`alewife_system` but with the node-channel
+    contention extension enabled, as the paper does for the Section 3
+    comparisons against the detailed simulator, where it contributes the
+    reported two-to-five network cycles of extra message latency.
+    """
+    return alewife_system(
+        contexts=contexts,
+        grain=grain,
+        fixed_overhead=fixed_overhead,
+        node_channel_contention=True,
+    )

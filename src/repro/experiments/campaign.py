@@ -1,0 +1,165 @@
+"""Parameter-grid campaigns over the analytical model.
+
+A campaign evaluates the combined model over the cartesian product of
+parameter axes — contexts, machine sizes, network slowdowns, dimensions,
+grain scales — and collects flat records ready for tabulation or CSV
+export.  It is the bulk-query layer the per-figure drivers are special
+cases of: anything Figure 7 or Table 1 sweeps, a campaign can sweep
+jointly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.errors import ParameterError
+from repro.experiments.alewife import alewife_system
+
+__all__ = ["CampaignRecord", "Campaign", "run_campaign"]
+
+#: Axes a campaign may sweep, with their SystemModel hooks.
+AXES = ("contexts", "processors", "slowdown", "dimensions", "grain_scale")
+
+DEFAULTS: Dict[str, Sequence] = {
+    "contexts": (1,),
+    "processors": (1000.0,),
+    "slowdown": (1.0,),
+    "dimensions": (2,),
+    "grain_scale": (1.0,),
+}
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One grid point's parameters and results."""
+
+    contexts: float
+    processors: float
+    slowdown: float
+    dimensions: int
+    grain_scale: float
+    random_distance: float
+    gain: float
+    ideal_rate: float
+    random_rate: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "contexts": self.contexts,
+            "processors": self.processors,
+            "slowdown": self.slowdown,
+            "dimensions": self.dimensions,
+            "grain_scale": self.grain_scale,
+            "random_distance": self.random_distance,
+            "gain": self.gain,
+            "ideal_rate": self.ideal_rate,
+            "random_rate": self.random_rate,
+        }
+
+
+@dataclass
+class Campaign:
+    """Results of a grid sweep."""
+
+    axes: Dict[str, Sequence]
+    records: List[CampaignRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def where(self, **criteria) -> List[CampaignRecord]:
+        """Records matching every given axis value exactly."""
+        unknown = set(criteria) - set(AXES)
+        if unknown:
+            raise ParameterError(f"unknown axes: {sorted(unknown)}")
+        selected = []
+        for record in self.records:
+            if all(
+                getattr(record, axis) == value
+                for axis, value in criteria.items()
+            ):
+                selected.append(record)
+        return selected
+
+    def column(self, name: str) -> List:
+        """One field across all records, in sweep order."""
+        return [getattr(record, name) for record in self.records]
+
+    def render(self, max_rows: Optional[int] = 40) -> str:
+        """Tabulate the records (truncated beyond ``max_rows``)."""
+        headers = [
+            "p", "N", "slowdown", "n", "grain x", "d random", "gain",
+        ]
+        rows = [
+            (
+                r.contexts,
+                f"{r.processors:,.0f}",
+                r.slowdown,
+                r.dimensions,
+                r.grain_scale,
+                round(r.random_distance, 1),
+                round(r.gain, 2),
+            )
+            for r in self.records
+        ]
+        truncated = ""
+        if max_rows is not None and len(rows) > max_rows:
+            truncated = f" (showing {max_rows} of {len(rows)} records)"
+            rows = rows[:max_rows]
+        return render_table(
+            headers, rows, title=f"Campaign over {list(self.axes)}{truncated}"
+        )
+
+
+def run_campaign(**axes: Iterable) -> Campaign:
+    """Sweep the calibrated Alewife system over the given axes.
+
+    Example::
+
+        campaign = run_campaign(contexts=[1, 2, 4],
+                                processors=[1e3, 1e6],
+                                slowdown=[1, 8])
+        campaign.where(contexts=2, slowdown=8)
+
+    Unswept axes use the Section 3 defaults.
+    """
+    unknown = set(axes) - set(AXES)
+    if unknown:
+        raise ParameterError(
+            f"unknown axes: {sorted(unknown)}; known: {list(AXES)}"
+        )
+    resolved: Dict[str, Sequence] = {
+        name: tuple(axes.get(name, DEFAULTS[name])) for name in AXES
+    }
+    for name, values in resolved.items():
+        if not values:
+            raise ParameterError(f"axis {name!r} has no values")
+
+    campaign = Campaign(axes={k: v for k, v in resolved.items() if len(v) > 1 or k in axes})
+    for contexts, processors, slowdown, dimensions, grain_scale in (
+        itertools.product(*(resolved[name] for name in AXES))
+    ):
+        system = (
+            alewife_system(contexts=contexts, dimensions=int(dimensions))
+            .with_network_slowdown(float(slowdown))
+        )
+        if grain_scale != 1.0:
+            system = system.with_grain_scaled(float(grain_scale))
+        result = system.expected_gain(float(processors))
+        campaign.records.append(
+            CampaignRecord(
+                contexts=contexts,
+                processors=float(processors),
+                slowdown=float(slowdown),
+                dimensions=int(dimensions),
+                grain_scale=float(grain_scale),
+                random_distance=result.random_distance,
+                gain=result.gain,
+                ideal_rate=result.ideal.transaction_rate,
+                random_rate=result.random.transaction_rate,
+            )
+        )
+    return campaign

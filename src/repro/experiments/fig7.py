@@ -1,0 +1,94 @@
+"""Figure 7: expected gain from exploiting physical locality vs machine size.
+
+Log-log curves of the ideal-vs-random mapping performance ratio for one,
+two, and four hardware contexts, machine sizes 10 to 10^6.  The paper's
+landmarks: unity gain at 10 processors, a gain of two at around 1,000,
+and gains of 40-55 at a million — with the three curves strikingly
+similar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.plot import line_plot
+from repro.analysis.tables import render_table
+from repro.core.sweeps import gain_curve
+from repro.experiments.alewife import alewife_system
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run", "CONTEXT_COUNTS"]
+
+CONTEXT_COUNTS = (1, 2, 4)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep expected gain over machine sizes for p = 1, 2, 4."""
+    count = 7 if quick else 13
+    sizes = np.logspace(1, 6, count)
+
+    curves = {
+        contexts: gain_curve(
+            alewife_system(contexts=contexts), sizes, label=f"p={contexts}"
+        )
+        for contexts in CONTEXT_COUNTS
+    }
+
+    rows = []
+    for index, size in enumerate(sizes):
+        rows.append(
+            (
+                f"{int(round(size)):,}",
+                *(
+                    round(curves[p].gains[index], 2)
+                    for p in CONTEXT_COUNTS
+                ),
+            )
+        )
+    table = render_table(
+        ["N", "gain (p=1)", "gain (p=2)", "gain (p=4)"],
+        rows,
+        title="Expected gain due to exploitation of physical locality",
+    )
+
+    landmark_rows = []
+    for p in CONTEXT_COUNTS:
+        system = alewife_system(contexts=p)
+        landmark_rows.append(
+            (
+                p,
+                round(system.expected_gain(10).gain, 2),
+                round(system.expected_gain(1000).gain, 2),
+                round(system.expected_gain(1e6).gain, 1),
+            )
+        )
+    landmarks = render_table(
+        ["p", "gain @ 10", "gain @ 1,000", "gain @ 10^6"],
+        landmark_rows,
+        title="Paper landmarks: ~1 at 10, ~2 at 1,000, 40-55 at 10^6",
+    )
+
+    chart = line_plot(
+        list(sizes),
+        {f"p={p}": list(curves[p].gains) for p in CONTEXT_COUNTS},
+        x_log=True,
+        y_log=True,
+        title="Expected gain vs machine size (log-log, as the paper plots it)",
+        x_label="processors N",
+        y_label="gain",
+    )
+
+    return ExperimentResult(
+        experiment="figure-7",
+        title="Expected locality gain vs machine size",
+        tables=[table, landmarks, chart],
+        notes=[
+            "The curves nearly coincide, as the paper emphasizes; because "
+            "the application's computation grain is tiny, these are rough "
+            "upper bounds on the gain available to any application.",
+        ],
+        data={
+            "sizes": list(sizes),
+            "gains": {p: list(curves[p].gains) for p in CONTEXT_COUNTS},
+        },
+    )

@@ -1,0 +1,32 @@
+"""Common result type for experiment drivers.
+
+Every experiment driver returns an :class:`ExperimentResult`: rendered
+tables for humans plus the raw data for tests and downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one reproduction experiment."""
+
+    experiment: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.extend(self.tables)
+        if self.notes:
+            bullet_lines = "\n".join(f"  - {note}" for note in self.notes)
+            parts.append(f"Notes:\n{bullet_lines}")
+        return "\n\n".join(parts)

@@ -1,0 +1,71 @@
+"""Experiment registry and batch runner.
+
+Maps experiment identifiers (``figure-3`` .. ``figure-8``, ``table-1``,
+and the ablations) to their drivers.  ``repro-locality run <id>`` and the
+benchmarks both resolve experiments through this registry, so the set of
+reproducible artifacts lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    ablations,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    organizations,
+    scaling_sim,
+    table1,
+    ucl_nucl,
+)
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["REGISTRY", "experiment_ids", "run_experiment", "run_all"]
+
+Runner = Callable[[bool], ExperimentResult]
+
+REGISTRY: Dict[str, Runner] = {
+    "figure-3": fig3.run,
+    "figure-4": fig4.run,
+    "figure-5": fig5.run,
+    "figure-6": fig6.run,
+    "figure-7": fig7.run,
+    "figure-8": fig8.run,
+    "table-1": table1.run,
+    "ucl-vs-nucl": ucl_nucl.run,
+    "organizations": organizations.run,
+    "scaling-sim": scaling_sim.run,
+    "ablation-feedback": ablations.run_feedback,
+    "ablation-clamp": ablations.run_clamp,
+    "ablation-node-channel": ablations.run_node_channel,
+    "ablation-dimension": ablations.run_dimension,
+    "ablation-buffering": ablations.run_buffering,
+    "ablation-uniformity": ablations.run_uniformity,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All known experiment identifiers, paper artifacts first."""
+    return list(REGISTRY)
+
+
+def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    runner = REGISTRY.get(identifier)
+    if runner is None:
+        known = ", ".join(REGISTRY)
+        raise ParameterError(
+            f"unknown experiment {identifier!r}; known: {known}"
+        )
+    return runner(quick)
+
+
+def run_all(quick: bool = False) -> List[ExperimentResult]:
+    """Run every registered experiment in order."""
+    return [runner(quick) for runner in REGISTRY.values()]

@@ -1,0 +1,83 @@
+"""Table 1: impact of relative network speed on expected gains.
+
+Rows sweep the network clock relative to the processor clock — "2x
+faster" is the Section 3 architecture — and report the expected locality
+gain at a thousand and a million processors for the one-context
+application.  Paper values: 2.1/41.2, 3.1/68.3, 4.5/101.6, 5.9/134.3;
+slowing the network 8x relative to the base architecture grows the
+bounds roughly threefold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.sweeps import sweep_network_slowdowns
+from repro.experiments.alewife import alewife_system
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run", "PAPER_VALUES", "ROW_LABELS"]
+
+#: (slowdown factor vs base architecture, paper gain @ 10^3, @ 10^6)
+PAPER_VALUES = [
+    (1.0, 2.1, 41.2),
+    (2.0, 3.1, 68.3),
+    (4.0, 4.5, 101.6),
+    (8.0, 5.9, 134.3),
+]
+
+ROW_LABELS = {1.0: "2x faster", 2.0: "same", 4.0: "2x slower", 8.0: "4x slower"}
+
+SIZES = (1000.0, 1e6)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Reproduce Table 1 with the calibrated one-context system."""
+    system = alewife_system(contexts=1)
+    samples = sweep_network_slowdowns(
+        system, [row[0] for row in PAPER_VALUES], sizes=SIZES
+    )
+
+    rows = []
+    reproduced = {}
+    for sample, (factor, paper_thousand, paper_million) in zip(
+        samples, PAPER_VALUES
+    ):
+        ours_thousand = sample.gains_by_size[1000.0]
+        ours_million = sample.gains_by_size[1e6]
+        reproduced[factor] = (ours_thousand, ours_million)
+        rows.append(
+            (
+                ROW_LABELS[factor],
+                round(ours_thousand, 2),
+                paper_thousand,
+                round(ours_million, 1),
+                paper_million,
+            )
+        )
+
+    table = render_table(
+        [
+            "network speed",
+            "gain @ 10^3",
+            "paper",
+            "gain @ 10^6",
+            "paper",
+        ],
+        rows,
+        title="Impact of relative network speed on expected gains (p = 1)",
+    )
+
+    ratio = reproduced[8.0][1] / reproduced[1.0][1]
+
+    return ExperimentResult(
+        experiment="table-1",
+        title="Expected gains vs relative network speed",
+        tables=[table],
+        notes=[
+            f"8x relative slowdown grows the million-processor bound "
+            f"{ratio:.1f}x (paper: 'approximately a factor of three').",
+            "Slower networks reward locality more: fixed processor-side "
+            "overheads shrink relative to communication costs.",
+        ],
+        data={"reproduced": reproduced, "paper": PAPER_VALUES},
+    )

@@ -1,0 +1,102 @@
+"""UCL vs NUCL: quantifying the paper's introductory argument.
+
+Section 1 argues that scalable machines must abandon uniform
+communication latency (UCL) networks — whose latency grows with machine
+size for *all* traffic — in favor of non-uniform (NUCL) networks, which
+at least let well-placed applications keep communicating over short
+distances.  This experiment runs the same calibrated application on
+
+* a 2-D torus with an ideal mapping (NUCL, locality exploited),
+* the same torus with a random mapping (NUCL, locality ignored), and
+* a radix-4 buffered butterfly (UCL — no placement can help),
+
+across machine sizes, comparing per-processor transaction rates and the
+switch hardware each machine spends per node.  The shape that emerges is
+exactly Section 1's argument, in numbers: the butterfly's
+scaling bandwidth lets it beat a *randomly mapped* torus handily at
+scale — but it pays ``log_k N`` switch stages of latency on every single
+message and ``stages/k`` switches of hardware per node, while the
+ideally-mapped torus keeps every message at one hop on constant
+per-node hardware.  Locality is the lever the UCL organization
+structurally lacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.combined import solve
+from repro.core.indirect import IndirectNetworkModel
+from repro.experiments.alewife import MESSAGE_FLITS, alewife_system
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep machine sizes; compare torus (ideal/random) vs butterfly."""
+    system = alewife_system(contexts=2)
+    node = system.node
+    butterfly = IndirectNetworkModel(switch_radix=4, message_size=MESSAGE_FLITS)
+
+    count = 5 if quick else 9
+    sizes = np.logspace(2, 6, count)
+
+    rows = []
+    series = {"sizes": [], "ideal": [], "random": [], "ucl": []}
+    for processors in sizes:
+        gain = system.expected_gain(processors)
+        stages = butterfly.stages_for(processors)
+        ucl_point = solve(node, butterfly, float(stages))
+        ideal_rate = gain.ideal.transaction_rate
+        random_rate = gain.random.transaction_rate
+        ucl_rate = ucl_point.transaction_rate
+        series["sizes"].append(float(processors))
+        series["ideal"].append(ideal_rate)
+        series["random"].append(random_rate)
+        series["ucl"].append(ucl_rate)
+        switch_cost = stages / butterfly.switch_radix
+        rows.append(
+            (
+                f"{int(round(processors)):,}",
+                stages,
+                round(gain.random_distance, 1),
+                round(ideal_rate / ucl_rate, 2),
+                round(random_rate / ucl_rate, 2),
+                round(switch_cost, 2),
+            )
+        )
+
+    table = render_table(
+        [
+            "N",
+            "butterfly stages",
+            "torus d (random)",
+            "NUCL ideal / UCL",
+            "NUCL random / UCL",
+            "UCL switches/node",
+        ],
+        rows,
+        title="Per-processor transaction rate relative to a radix-4 "
+        "butterfly (UCL), two-context application "
+        "(torus spends 1 switch/node at every size)",
+    )
+
+    return ExperimentResult(
+        experiment="ucl-vs-nucl",
+        title="Uniform vs non-uniform communication latency networks",
+        tables=[table],
+        notes=[
+            "The butterfly's bandwidth scales with machine size, so it "
+            "overtakes the *randomly mapped* torus as N grows — exactly "
+            "the bandwidth-for-latency trade Section 1 describes — while "
+            "paying log_k(N) stages on every message and log_k(N)/k "
+            "switches per node of hardware.",
+            "The ideally mapped torus beats the butterfly at every size "
+            "with constant per-node hardware, and its lead grows with "
+            "the stage count: exploiting locality sidesteps the UCL "
+            "latency floor entirely.",
+        ],
+        data=series,
+    )

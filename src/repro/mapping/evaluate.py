@@ -1,0 +1,100 @@
+"""Evaluating mappings: the operational locality metric.
+
+The paper reduces all communication-pattern information to one number —
+the **average communication distance** ``d`` in network hops (Section
+2.1's "operational definition of physical locality").  This module
+computes that number exactly for a (communication graph, mapping,
+topology) triple, along with the distance distribution for finer-grained
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import MappingError
+from repro.mapping.base import Mapping
+from repro.topology.graphs import CommunicationGraph
+from repro.topology.torus import Torus
+
+__all__ = ["average_distance", "distance_histogram", "MappingEvaluation", "evaluate"]
+
+
+def _check_compatible(
+    graph: CommunicationGraph, mapping: Mapping, torus: Torus
+) -> None:
+    if mapping.threads != graph.threads:
+        raise MappingError(
+            f"mapping covers {mapping.threads} threads but the graph has "
+            f"{graph.threads}"
+        )
+    if mapping.processors != torus.node_count:
+        raise MappingError(
+            f"mapping targets {mapping.processors} processors but the torus "
+            f"has {torus.node_count} nodes"
+        )
+
+
+def average_distance(
+    graph: CommunicationGraph, mapping: Mapping, torus: Torus
+) -> float:
+    """Weighted mean network hops per message — the model's ``d``.
+
+    Collocated communicating threads contribute distance 0 (their
+    "messages" never enter the network); the paper's bijective mappings
+    never produce that case for its neighbor graph.
+    """
+    _check_compatible(graph, mapping, torus)
+    total = 0.0
+    weight_sum = 0.0
+    for src, dst, weight in graph.edges():
+        hops = torus.distance(mapping.processor_of(src), mapping.processor_of(dst))
+        total += weight * hops
+        weight_sum += weight
+    if weight_sum == 0.0:
+        raise MappingError("communication graph has no edges")
+    return total / weight_sum
+
+
+def distance_histogram(
+    graph: CommunicationGraph, mapping: Mapping, torus: Torus
+) -> Dict[int, float]:
+    """Total edge weight at each hop distance."""
+    _check_compatible(graph, mapping, torus)
+    histogram: Dict[int, float] = {}
+    for src, dst, weight in graph.edges():
+        hops = torus.distance(mapping.processor_of(src), mapping.processor_of(dst))
+        histogram[hops] = histogram.get(hops, 0.0) + weight
+    return histogram
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """Summary statistics of one mapping of one graph onto one torus."""
+
+    average: float
+    maximum: int
+    minimum: int
+    per_dimension: float
+    histogram: Dict[int, float]
+
+
+def evaluate(
+    graph: CommunicationGraph, mapping: Mapping, torus: Torus
+) -> MappingEvaluation:
+    """Full distance statistics for a mapping.
+
+    ``per_dimension`` is the model's ``k_d = d / n`` (Eq 13) for this
+    mapping, ready to feed the network model.
+    """
+    histogram = distance_histogram(graph, mapping, torus)
+    weight_sum = sum(histogram.values())
+    average = sum(hops * weight for hops, weight in histogram.items()) / weight_sum
+    return MappingEvaluation(
+        average=average,
+        maximum=max(histogram),
+        minimum=min(histogram),
+        per_dimension=average / torus.dimensions,
+        histogram=histogram,
+    )

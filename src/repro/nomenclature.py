@@ -1,0 +1,82 @@
+"""Paper nomenclature (Appendix A) mapped to this library's API.
+
+Each entry ties one of the paper's symbols to where it lives in
+:mod:`repro`, so readers can move between the paper's equations and the
+code without guessing.  :func:`describe` renders the table;
+tests/test_nomenclature.py verifies every referenced attribute exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import render_table
+
+__all__ = ["Symbol", "SYMBOLS", "describe"]
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One Appendix A symbol and its API home."""
+
+    symbol: str
+    meaning: str
+    api: str
+    units: str
+
+
+SYMBOLS: List[Symbol] = [
+    Symbol("n", "mesh network dimension",
+           "repro.core.TorusNetworkModel.dimensions", "-"),
+    Symbol("k", "mesh network radix (side length)",
+           "repro.topology.Torus.radix", "-"),
+    Symbol("N", "total number of processors",
+           "repro.topology.Torus.node_count", "-"),
+    Symbol("T_r", "thread run length between transactions",
+           "repro.core.ApplicationModel.grain", "processor cycles"),
+    Symbol("s", "latency sensitivity (message-curve slope)",
+           "repro.core.NodeModel.sensitivity", "-"),
+    Symbol("d", "average communication distance",
+           "repro.mapping.average_distance", "hops"),
+    Symbol("p", "degree of hardware multithreading",
+           "repro.core.ApplicationModel.contexts", "-"),
+    Symbol("T_s", "context switch time",
+           "repro.core.ApplicationModel.switch_time", "processor cycles"),
+    Symbol("c", "messages on a transaction's critical path",
+           "repro.core.TransactionModel.critical_messages", "-"),
+    Symbol("g", "average messages per transaction",
+           "repro.core.TransactionModel.messages_per_transaction", "-"),
+    Symbol("T_f", "fixed component of transaction latency",
+           "repro.core.TransactionModel.fixed_overhead", "processor cycles"),
+    Symbol("T_t", "average transaction latency",
+           "repro.core.OperatingPoint.transaction_latency", "network cycles"),
+    Symbol("t_t", "average inter-transaction issue time",
+           "repro.core.OperatingPoint.issue_time", "network cycles"),
+    Symbol("r_t", "average transaction issue rate",
+           "repro.core.OperatingPoint.transaction_rate",
+           "1 / network cycle"),
+    Symbol("T_m", "average message latency",
+           "repro.core.OperatingPoint.message_latency", "network cycles"),
+    Symbol("t_m", "average inter-message injection time",
+           "repro.core.OperatingPoint.message_time", "network cycles"),
+    Symbol("r_m", "average message injection rate",
+           "repro.core.OperatingPoint.message_rate", "1 / network cycle"),
+    Symbol("B", "average message size",
+           "repro.core.TorusNetworkModel.message_size", "flits"),
+    Symbol("k_d", "average per-dimension message distance",
+           "repro.core.TorusNetworkModel.per_dimension_distance", "hops"),
+    Symbol("rho", "network channel utilization",
+           "repro.core.OperatingPoint.utilization", "-"),
+    Symbol("T_h", "average per-hop message latency",
+           "repro.core.OperatingPoint.per_hop_latency", "network cycles"),
+]
+
+
+def describe() -> str:
+    """Appendix A as a rendered table."""
+    return render_table(
+        ["symbol", "meaning", "API", "units"],
+        [(s.symbol, s.meaning, s.api, s.units) for s in SYMBOLS],
+        title="Paper nomenclature (Appendix A) -> repro API",
+    )

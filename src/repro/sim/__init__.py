@@ -1,0 +1,38 @@
+"""Cycle-level multiprocessor simulator (the validation substrate).
+
+Reconstructs the machine the paper simulates in Section 3: multithreaded
+processors, a full-map invalidate directory protocol behind a single
+per-node controller, and a flit-level wormhole-routed torus network whose
+switches run twice as fast as the processors.
+"""
+
+from repro.sim.coherence import CacheState, CoherenceController, DirectoryState
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.sim.message import CONTROL_FLITS, DATA_FLITS, Message, MessageKind
+from repro.sim.network import TorusFabric, Worm
+from repro.sim.processor import ContextState, HardwareContext, Processor
+from repro.sim.stats import MachineStats, MeasurementSummary
+from repro.sim.trace import MachineSample, TraceEvent, Tracer
+
+__all__ = [
+    "SimulationConfig",
+    "Machine",
+    "MeasurementSummary",
+    "MachineStats",
+    "TorusFabric",
+    "Worm",
+    "Message",
+    "MessageKind",
+    "CONTROL_FLITS",
+    "DATA_FLITS",
+    "CoherenceController",
+    "CacheState",
+    "DirectoryState",
+    "Processor",
+    "HardwareContext",
+    "ContextState",
+    "Tracer",
+    "TraceEvent",
+    "MachineSample",
+]

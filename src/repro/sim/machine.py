@@ -1,0 +1,251 @@
+"""Whole-machine assembly and the simulation run loop.
+
+A :class:`Machine` wires together the torus fabric, one coherence
+controller and one multithreaded processor per node, and the workload's
+thread programs placed according to a thread-to-processor mapping.  Data
+is allocated with its owning thread (Section 3.2's "single word of state
+in local memory"), so the mapping simultaneously determines thread
+placement and cache-line homes — changing the mapping is exactly how the
+paper sweeps average communication distance.
+
+The machine advances in network cycles; processors tick on every
+``network_speedup``-th cycle.  A run consists of a warmup window (caches
+fill, the protocol reaches steady state) followed by a measurement
+window, after which :meth:`Machine.run` returns the
+:class:`~repro.sim.stats.MeasurementSummary`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.mapping.base import Mapping
+from repro.sim.coherence import Block, CoherenceController
+from repro.sim.config import SimulationConfig
+from repro.sim.cut_through import CutThroughFabric
+from repro.sim.message import Message
+from repro.sim.network import TorusFabric
+from repro.sim.processor import Processor
+from repro.sim.stats import MachineStats, MeasurementSummary
+from repro.topology.torus import Torus
+from repro.workload.base import ThreadProgram
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A complete simulated multiprocessor.
+
+    Parameters
+    ----------
+    config:
+        Machine/protocol/measurement parameters.
+    mapping:
+        Thread-to-processor assignment.  Two modes are supported:
+
+        * **replicated instances** (the paper's arrangement): the mapping
+          is a bijection over the machine's nodes and ``programs`` holds
+          one application instance per hardware context — each node runs
+          the same-numbered thread of every instance;
+        * **collocation**: the mapping places ``nodes * contexts``
+          threads of a *single* instance, exactly ``contexts`` per node —
+          the only locality lever a UCL machine has (Section 1.1), and
+          available to NUCL machines on top of placement.
+    programs:
+        ``programs[instance][thread]`` — one
+        :class:`~repro.workload.base.ThreadProgram` per (instance,
+        thread).  ``len(programs)`` must be ``config.contexts`` in
+        replicated-instance mode and 1 in collocation mode.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        mapping: Mapping,
+        programs: Sequence[Sequence[ThreadProgram]],
+    ):
+        self.config = config
+        self.torus = Torus(radix=config.radix, dimensions=config.dimensions)
+        if mapping.processors != self.torus.node_count:
+            raise SimulationError(
+                f"mapping targets {mapping.processors} processors; machine "
+                f"has {self.torus.node_count}"
+            )
+        nodes = self.torus.node_count
+        if mapping.threads == nodes:
+            mapping.require_bijective()
+            self._collocated = False
+            if len(programs) != config.contexts:
+                raise SimulationError(
+                    f"{len(programs)} program instances for "
+                    f"{config.contexts} contexts"
+                )
+        elif mapping.threads == nodes * config.contexts:
+            self._collocated = True
+            if len(programs) != 1:
+                raise SimulationError(
+                    "collocation mode runs a single application instance; "
+                    f"got {len(programs)} program instances"
+                )
+            load = mapping.load()
+            if len(load) != nodes or any(
+                count != config.contexts for count in load.values()
+            ):
+                raise SimulationError(
+                    f"collocation mode needs exactly {config.contexts} "
+                    "threads on every node"
+                )
+        else:
+            raise SimulationError(
+                f"mapping covers {mapping.threads} threads; expected "
+                f"{nodes} (replicated instances) or "
+                f"{nodes * config.contexts} (collocation)"
+            )
+        for instance in programs:
+            if len(instance) != mapping.threads:
+                raise SimulationError(
+                    "every instance must provide one program per thread"
+                )
+        self.mapping = mapping
+        self.stats = MachineStats(nodes=self.torus.node_count)
+        if config.switching == "wormhole":
+            self.fabric = TorusFabric(self.torus, on_delivery=self._deliver)
+        else:
+            self.fabric = CutThroughFabric(self.torus, on_delivery=self._deliver)
+        self._cycle = 0
+        self.tracer = None
+
+        self.controllers: List[CoherenceController] = [
+            CoherenceController(
+                node=node,
+                config=config,
+                home_of=self._home_of,
+                send=self._inject,
+                stats=self.stats,
+            )
+            for node in self.torus.nodes()
+        ]
+        self.processors: List[Processor] = []
+        if self._collocated:
+            programs_at = {
+                node: [programs[0][t] for t in mapping.threads_on(node)]
+                for node in self.torus.nodes()
+            }
+        else:
+            # Bijective mapping: exactly one thread per node.
+            thread_at = {p: t for t, p in mapping.items()}
+            programs_at = {
+                node: [
+                    programs[instance][thread_at[node]]
+                    for instance in range(config.contexts)
+                ]
+                for node in self.torus.nodes()
+            }
+        for node in self.torus.nodes():
+            node_programs = programs_at[node]
+            self.processors.append(
+                Processor(
+                    node=node,
+                    config=config,
+                    controller=self.controllers[node],
+                    programs=node_programs,
+                    stats=self.stats,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    def _home_of(self, block: Block) -> int:
+        """Blocks live with their owning thread."""
+        _, thread = block
+        return self.mapping.processor_of(thread)
+
+    def _inject(self, message: Message) -> None:
+        if message.destination == message.source:
+            raise SimulationError(
+                f"self-addressed message from node {message.source}; local "
+                "transactions must complete without the network"
+            )
+        self.fabric.inject(message, self._cycle)
+
+    def _deliver(self, transit) -> None:
+        """Fabric delivery callback (Worm or Transit: same interface)."""
+        message = transit.message
+        self.stats.message_delivered(
+            message, transit.hops, transit.source_wait, self._cycle
+        )
+        self.controllers[message.destination].deliver(message)
+
+    # ------------------------------------------------------------------
+    # Run loop.
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Route all stats events and periodic samples to ``tracer``."""
+        self.tracer = tracer
+        self.stats.listener = tracer
+
+    def step(self) -> None:
+        """Advance the machine one network cycle."""
+        cycle = self._cycle
+        if cycle % self.config.network_speedup == 0:
+            for processor in self.processors:
+                processor.tick(cycle)
+        for controller in self.controllers:
+            controller.tick(cycle)
+        self.fabric.tick(cycle)
+        if self.tracer is not None:
+            self.tracer.on_cycle(self, cycle)
+        self._cycle += 1
+
+    def run(
+        self,
+        warmup: Optional[int] = None,
+        measure: Optional[int] = None,
+    ) -> MeasurementSummary:
+        """Warm up, measure, and summarize.
+
+        ``warmup`` / ``measure`` override the config's windows (network
+        cycles).  Idle/switch counters are sampled around the window so
+        processor-level fractions are window-accurate.
+        """
+        warmup = self.config.warmup_network_cycles if warmup is None else warmup
+        measure = (
+            self.config.measure_network_cycles if measure is None else measure
+        )
+        for _ in range(warmup):
+            self.step()
+
+        idle_before = [p.idle_cycles for p in self.processors]
+        switches_before = sum(p.switch_count for p in self.processors)
+        self.stats.start_measuring(self._cycle, self.fabric.link_flits)
+
+        for _ in range(measure):
+            self.step()
+
+        self.stats.stop_measuring(self._cycle)
+        self.stats.idle_cycles = sum(
+            p.idle_cycles - before
+            for p, before in zip(self.processors, idle_before)
+        )
+        self.stats.switches = (
+            sum(p.switch_count for p in self.processors) - switches_before
+        )
+        return self.summary()
+
+    def summary(self) -> MeasurementSummary:
+        """Reduce the measured window to model-facing quantities."""
+        physical_links = self.torus.node_count * 2 * self.torus.dimensions
+        return self.stats.summary(
+            link_flits=self.fabric.link_flits,
+            physical_links=physical_links,
+            network_speedup=self.config.network_speedup,
+        )
+
+    @property
+    def cycle(self) -> int:
+        """Current network-cycle count."""
+        return self._cycle

@@ -1,0 +1,91 @@
+"""Network messages exchanged by the coherence protocol.
+
+The synthetic application's traffic (Section 3.2) consists of four message
+kinds in its steady state — read requests, data replies, invalidations,
+and invalidation acks — which is how the paper arrives at ``g = 3.2``
+messages per transaction (each 5-access iteration sends 4 x (request +
+data) + 4 x (invalidate + ack) = 16 messages for 5 transactions) and an
+average message size of 12 flits.  The protocol here also implements the
+fetch/forward messages needed when requests miss at a remotely-modified
+block, so workloads other than the paper's behave correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["MessageKind", "Message", "CONTROL_FLITS", "DATA_FLITS"]
+
+#: Flits in a control message (64-bit header on 8-bit channels).
+CONTROL_FLITS = 8
+
+#: Flits in a data-bearing message (16-byte cache line plus header).
+DATA_FLITS = 24
+
+
+class MessageKind(enum.Enum):
+    """Coherence protocol message types."""
+
+    READ_REQUEST = "read_request"
+    WRITE_REQUEST = "write_request"
+    DATA_REPLY = "data_reply"
+    INVALIDATE = "invalidate"
+    INVALIDATE_ACK = "invalidate_ack"
+    FETCH = "fetch"              # home asks the owner to downgrade M -> S
+    FETCH_INVALIDATE = "fetch_invalidate"  # ... or to give the line up
+    WRITEBACK = "writeback"      # owner returns the modified line home
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether this message carries a cache line."""
+        return self in (MessageKind.DATA_REPLY, MessageKind.WRITEBACK)
+
+    @property
+    def flits(self) -> int:
+        """Message size in flits."""
+        return DATA_FLITS if self.carries_data else CONTROL_FLITS
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message in flight.
+
+    ``transaction`` identifies the coherence transaction this message
+    serves, so latency accounting can attribute each message to the
+    processor stall it contributes to.  Timestamps are in network cycles;
+    ``injected_at`` is stamped when the head flit enters the source
+    node's injection channel queue, ``delivered_at`` when the tail flit
+    has fully arrived.
+    """
+
+    kind: MessageKind
+    source: int
+    destination: int
+    block: Tuple[int, int]
+    transaction: int
+    uid: int = field(default_factory=lambda: next(_message_ids))
+    injected_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+
+    @property
+    def flits(self) -> int:
+        return self.kind.flits
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Injection-to-full-delivery latency in network cycles."""
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+    def __repr__(self) -> str:  # compact for debugging protocol traces
+        return (
+            f"Message({self.kind.value} #{self.uid} {self.source}->"
+            f"{self.destination} block={self.block} txn={self.transaction})"
+        )

@@ -1,0 +1,303 @@
+"""Flit-level wormhole-routed torus fabric.
+
+Implements the network of Section 3.1: a k-ary n-dimensional torus with a
+pair of unidirectional channels between neighbors (one per direction),
+e-cube (dimension-order) routing, single-cycle switch delay, and a pair
+of injection/ejection channels connecting each node to its switch.
+
+**Worm model.**  A message of ``B`` flits is simulated as a rigid worm:
+all of its flits advance in lockstep on each *movement cycle* (the head
+acquiring the next channel, or — once the head has arrived — the
+destination consuming one flit).  With single-flit switch buffers this is
+exact: when the head stalls, every flit behind it stalls.  A channel is
+held from the movement cycle its first flit crosses until all ``B`` flits
+have crossed (``B`` movement cycles later), which reproduces the
+``T_m = d * T_h + B`` structure of the analytical model: an unloaded
+``d``-hop message takes ``d + 2`` cycles of head travel (the +2 being the
+node's injection and ejection channels) plus ``B - 1`` cycles of drain.
+
+**Deadlock freedom.**  E-cube routing alone deadlocks on torus *rings*
+(cyclic channel dependencies around the wraparound), so each physical
+channel carries two virtual channels with the standard dateline scheme:
+a route uses VC 0 within a dimension until it crosses the ring's zero
+boundary, VC 1 after.  VCs are modeled as independent channel resources;
+the bandwidth this adds on dateline links is visible to the measured
+utilization statistics (which count flits per *physical* link), keeping
+comparisons against the analytical model honest.
+
+Arbitration is first-come-first-served per channel, with ties between
+channels resolved in a fixed key order — the simulator is fully
+deterministic given its inputs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.message import Message
+from repro.topology.torus import Torus
+
+__all__ = ["Worm", "TorusFabric"]
+
+ChannelKey = Tuple
+# Channel keys:
+#   ("inj", node)                  node -> switch
+#   ("ej", node)                   switch -> node
+#   ("link", node, dim, step, vc)  switch -> neighboring switch
+
+
+@dataclass
+class Worm:
+    """One message in flight through the fabric."""
+
+    message: Message
+    route: List[ChannelKey]
+    #: Index of the most recently acquired route channel (-1 = none yet).
+    head: int = -1
+    #: Total movement cycles so far (each moves every flit one position).
+    moves: int = 0
+    #: ``acquire_moves[i]`` is the movement count when channel i was
+    #: acquired; channel i completes after ``flits`` further movements.
+    acquire_moves: List[int] = field(default_factory=list)
+    #: Index of the first not-yet-released route channel.
+    released: int = 0
+    #: Cycle stamp of the last movement (prevents >1 hop per cycle).
+    moved_at: int = -1
+    #: Cycles spent queued at the source's injection channel.
+    source_wait: int = 0
+
+    @property
+    def flits(self) -> int:
+        return self.message.flits
+
+    @property
+    def hops(self) -> int:
+        """Switch-to-switch hops (route minus injection/ejection)."""
+        return len(self.route) - 2
+
+    @property
+    def at_destination(self) -> bool:
+        return self.head == len(self.route) - 1
+
+    @property
+    def delivered(self) -> bool:
+        return self.at_destination and self.moves >= self.acquire_moves[-1] + self.flits
+
+
+class TorusFabric:
+    """The complete interconnect: channels, arbitration, worm movement.
+
+    Parameters
+    ----------
+    torus:
+        Machine geometry.
+    on_delivery:
+        Callback invoked with each completed :class:`Worm` when its tail
+        flit has fully arrived at the destination node (the worm carries
+        the message plus hop/wait accounting).
+    stall_limit:
+        Safety net: if no worm moves for this many consecutive cycles
+        while traffic is in flight, a :class:`SimulationError` is raised
+        (this would indicate a routing-deadlock bug, which the dateline
+        VCs are there to prevent).
+    """
+
+    def __init__(
+        self,
+        torus: Torus,
+        on_delivery: Callable[["Worm"], None],
+        stall_limit: int = 10000,
+    ):
+        self.torus = torus
+        self.on_delivery = on_delivery
+        self.stall_limit = stall_limit
+        self._owners: Dict[ChannelKey, Worm] = {}
+        self._waiting: Dict[ChannelKey, Deque[Worm]] = {}
+        self._pending_keys: List[ChannelKey] = []
+        self._draining: List[Worm] = []
+        self._stall_cycles = 0
+        #: Flits crossed per physical link, for utilization measurement.
+        self.link_flits: Dict[Tuple[int, int, int], int] = {}
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Route construction.
+    # ------------------------------------------------------------------
+
+    def build_route(self, source: int, destination: int) -> List[ChannelKey]:
+        """E-cube route with dateline VC assignment, inj/ej inclusive."""
+        if source == destination:
+            raise SimulationError(
+                f"messages to self must not enter the network (node {source})"
+            )
+        route: List[ChannelKey] = [("inj", source)]
+        radix = self.torus.radix
+        current_vc_dim = -1
+        vc = 0
+        for node, dim, step in self.torus.route_hops(source, destination):
+            if dim != current_vc_dim:
+                current_vc_dim = dim
+                vc = 0
+            coordinate = self.torus.coordinates(node)[dim]
+            route.append(("link", node, dim, step, vc))
+            # Crossing the ring's zero boundary switches to VC 1 for the
+            # rest of this dimension (the dateline rule).
+            wraps = (step == 1 and coordinate == radix - 1) or (
+                step == -1 and coordinate == 0
+            )
+            if wraps:
+                vc = 1
+        route.append(("ej", destination))
+        return route
+
+    # ------------------------------------------------------------------
+    # Injection.
+    # ------------------------------------------------------------------
+
+    def inject(self, message: Message, cycle: int) -> None:
+        """Queue a message at its source node's injection channel."""
+        message.injected_at = cycle
+        worm = Worm(message=message, route=self.build_route(
+            message.source, message.destination
+        ))
+        self._enqueue(worm, worm.route[0])
+
+    def _enqueue(self, worm: Worm, key: ChannelKey) -> None:
+        queue = self._waiting.get(key)
+        if queue is None:
+            queue = deque()
+            self._waiting[key] = queue
+            self._pending_keys.append(key)
+        queue.append(worm)
+
+    # ------------------------------------------------------------------
+    # Per-cycle advance.
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance the fabric by one network cycle."""
+        progressed = False
+
+        # Phase 1: drain worms whose heads have arrived; the destination
+        # consumes one flit per cycle unconditionally, releasing tail
+        # channels as they complete.
+        still_draining: List[Worm] = []
+        for worm in self._draining:
+            worm.moves += 1
+            worm.moved_at = cycle
+            self._release_completed(worm)
+            progressed = True
+            if worm.delivered:
+                self._finish(worm, cycle)
+            else:
+                still_draining.append(worm)
+        self._draining = still_draining
+
+        # Phase 2: grant free channels to the first eligible waiter.  A
+        # worm moves at most one hop per cycle (checked via moved_at).
+        remaining_keys: List[ChannelKey] = []
+        for key in self._pending_keys:
+            queue = self._waiting.get(key)
+            if not queue:
+                self._waiting.pop(key, None)
+                continue
+            head_worm = queue[0]
+            if key in self._owners or head_worm.moved_at == cycle:
+                remaining_keys.append(key)
+                continue
+            queue.popleft()
+            self._advance(head_worm, key, cycle)
+            progressed = True
+            if queue:
+                remaining_keys.append(key)
+            else:
+                self._waiting.pop(key, None)
+        self._pending_keys = remaining_keys
+
+        # Deadlock safety net.
+        in_flight = bool(self._owners or self._waiting or self._draining)
+        if in_flight and not progressed:
+            self._stall_cycles += 1
+            if self._stall_cycles >= self.stall_limit:
+                raise SimulationError(
+                    f"network made no progress for {self.stall_limit} cycles "
+                    f"with {len(self._owners)} channels held — routing "
+                    "deadlock or arbitration bug"
+                )
+        else:
+            self._stall_cycles = 0
+
+    def _advance(self, worm: Worm, key: ChannelKey, cycle: int) -> None:
+        """Grant ``key`` to ``worm`` and account the movement."""
+        self._owners[key] = worm
+        worm.head += 1
+        if worm.head == 0:
+            worm.source_wait = cycle - worm.message.injected_at
+        worm.acquire_moves.append(worm.moves)
+        worm.moves += 1
+        worm.moved_at = cycle
+        if key[0] == "link":
+            # The message will push exactly ``flits`` flits through this
+            # physical link; account them at acquisition time (utilization
+            # statistics are window averages, so the timing skew of at
+            # most B cycles is negligible).
+            link = (key[1], key[2], key[3])
+            self.link_flits[link] = self.link_flits.get(link, 0) + worm.flits
+        self._release_completed(worm)
+        if worm.at_destination:
+            if worm.delivered:  # single-flit message fully arrives at once
+                self._finish(worm, cycle)
+            else:
+                self._draining.append(worm)
+        else:
+            self._enqueue(worm, worm.route[worm.head + 1])
+
+    def _release_completed(self, worm: Worm) -> None:
+        """Free route channels whose ``flits`` transfers have completed."""
+        while (
+            worm.released <= worm.head
+            and worm.moves >= worm.acquire_moves[worm.released] + worm.flits
+        ):
+            key = worm.route[worm.released]
+            owner = self._owners.pop(key, None)
+            if owner is not worm:
+                raise SimulationError(
+                    f"channel {key} released by non-owner worm "
+                    f"{worm.message.uid}"
+                )
+            worm.released += 1
+
+    def _finish(self, worm: Worm, cycle: int) -> None:
+        """Release any remaining channels and deliver the message."""
+        while worm.released <= worm.head:
+            key = worm.route[worm.released]
+            owner = self._owners.pop(key, None)
+            if owner is not worm:
+                raise SimulationError(
+                    f"channel {key} held by wrong worm at delivery"
+                )
+            worm.released += 1
+        worm.message.delivered_at = cycle
+        self.delivered_count += 1
+        self.on_delivery(worm)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Worms currently traversing or queued in the fabric."""
+        worms = set()
+        for queue in self._waiting.values():
+            worms.update(id(w) for w in queue)
+        worms.update(id(w) for w in self._owners.values())
+        worms.update(id(w) for w in self._draining)
+        return len(worms)
+
+    def quiescent(self) -> bool:
+        """True when no traffic is anywhere in the fabric."""
+        return not (self._owners or self._waiting or self._draining)

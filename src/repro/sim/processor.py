@@ -1,0 +1,185 @@
+"""Block-multithreaded processor model (Sparcle-like).
+
+Each processor has ``p`` hardware contexts, each running one application
+thread.  A context computes for its program-determined run length, then
+performs a memory access; cache hits cost one (configurable) cycle and
+execution continues, while misses hand the access to the coherence
+controller and block the context.  On a miss, the processor switches to
+another runnable context if one exists, paying the ``T_s``-cycle context
+switch; with no runnable context it idles until a transaction completes
+(resuming the same context is free, matching the paper's single-context
+model where ``t_t = T_r + T_t`` has no switch term).
+
+The processor ticks once per *processor* cycle; the machine driver calls
+:meth:`tick` only on processor-cycle boundaries of the network clock.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.coherence import CoherenceController
+from repro.sim.config import SimulationConfig
+from repro.workload.base import ThreadProgram
+
+__all__ = ["ContextState", "HardwareContext", "Processor"]
+
+
+class ContextState(enum.Enum):
+    """Lifecycle of one hardware context (see HardwareContext)."""
+
+    COMPUTING = "computing"
+    BLOCKED = "blocked"      # waiting for a coherence transaction
+    READY = "ready"          # transaction done, waiting for the processor
+
+
+@dataclass
+class HardwareContext:
+    """One hardware context and the thread it runs.
+
+    ``READY`` means runnable but not currently executing (fresh contexts
+    start READY; blocked contexts return to READY when their transaction
+    completes); exactly one context at a time is ``COMPUTING``.
+    """
+
+    index: int
+    program: ThreadProgram
+    state: ContextState = ContextState.READY
+    remaining_cycles: int = 0
+
+
+class Processor:
+    """A ``p``-context processor attached to one coherence controller."""
+
+    def __init__(
+        self,
+        node: int,
+        config: SimulationConfig,
+        controller: CoherenceController,
+        programs: List[ThreadProgram],
+        stats,
+    ):
+        if len(programs) != config.contexts:
+            raise SimulationError(
+                f"node {node}: {len(programs)} programs for "
+                f"{config.contexts} contexts"
+            )
+        self.node = node
+        self.config = config
+        self.controller = controller
+        self.stats = stats
+        # Deterministic per-node stream (tuples are not valid seeds).
+        self.rng = random.Random(config.seed * 1000003 + node)
+        self.contexts = [
+            HardwareContext(index=i, program=program)
+            for i, program in enumerate(programs)
+        ]
+        for context in self.contexts:
+            context.remaining_cycles = context.program.compute_cycles(self.rng)
+        self.contexts[0].state = ContextState.COMPUTING
+        self._active: Optional[int] = 0
+        self._switch_remaining = 0
+        self._switch_target: Optional[int] = None
+        self.idle_cycles = 0
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------
+    # Per-processor-cycle step.
+    # ------------------------------------------------------------------
+
+    def tick(self, network_cycle: int) -> None:
+        """Advance one processor cycle (called on clock boundaries)."""
+        if self._switch_remaining > 0:
+            self._switch_remaining -= 1
+            if self._switch_remaining == 0:
+                self._active = self._switch_target
+                self._switch_target = None
+            return
+
+        if self._active is None:
+            ready = self._find_ready()
+            if ready is None:
+                self.idle_cycles += 1
+                return
+            # Waking from idle: free (pipeline was already drained); the
+            # single-context model's t_t = T_r + T_t depends on this.
+            self._active = ready
+            self.contexts[ready].state = ContextState.COMPUTING
+
+        context = self.contexts[self._active]
+        if context.state is ContextState.READY:
+            context.state = ContextState.COMPUTING
+        if context.state is not ContextState.COMPUTING:
+            raise SimulationError(
+                f"node {self.node}: active context {self._active} in state "
+                f"{context.state.value}"
+            )
+
+        if context.remaining_cycles > 0:
+            context.remaining_cycles -= 1
+            return
+
+        # Run length exhausted: perform the next memory access.
+        block, is_write = context.program.next_access(self.rng)
+        if self.controller.is_hit(block, is_write):
+            self.stats.cache_hit(self.node)
+            self.controller.record_access(block)
+            context.remaining_cycles = (
+                self.config.hit_cycles + context.program.compute_cycles(self.rng)
+            )
+            return
+
+        # Miss: start a coherence transaction and block this context.
+        context.state = ContextState.BLOCKED
+        index = context.index
+
+        def on_complete(cycle: int, ctx: HardwareContext = context) -> None:
+            ctx.state = ContextState.READY
+            ctx.remaining_cycles = ctx.program.compute_cycles(self.rng)
+
+        self.controller.request(block, is_write, network_cycle, on_complete)
+        self._leave_context(index)
+
+    # ------------------------------------------------------------------
+    # Context management.
+    # ------------------------------------------------------------------
+
+    def _find_ready(self) -> Optional[int]:
+        """Round-robin scan for a runnable context."""
+        start = (self._active + 1) if self._active is not None else 0
+        count = len(self.contexts)
+        for offset in range(count):
+            candidate = (start + offset) % count
+            if self.contexts[candidate].state is ContextState.READY:
+                return candidate
+        return None
+
+    def _leave_context(self, index: int) -> None:
+        """After a miss: switch to another runnable context or idle."""
+        target = self._find_ready()
+        if target is None or target == index:
+            self._active = None
+            return
+        if self.config.switch_cycles == 0:
+            self._active = target
+            self.contexts[target].state = ContextState.COMPUTING
+            return
+        self.switch_count += 1
+        self._switch_remaining = self.config.switch_cycles
+        self._switch_target = target
+        self._active = None
+        self.contexts[target].state = ContextState.COMPUTING
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def blocked_contexts(self) -> int:
+        return sum(
+            1 for c in self.contexts if c.state is ContextState.BLOCKED
+        )

@@ -1,0 +1,170 @@
+"""Tracing and time-series sampling for simulation runs.
+
+The aggregate :class:`~repro.sim.stats.MeasurementSummary` answers the
+model's questions; a :class:`Tracer` answers *debugging* questions — what
+happened, when, where.  It captures two kinds of data:
+
+* **events** — message sends/deliveries, transaction starts/completions,
+  cache hits and evictions, each stamped with cycle and node, kept in a
+  bounded ring buffer;
+* **samples** — periodic machine snapshots (in-flight messages,
+  cumulative counters), for time-series views of warmup and steady state.
+
+Attach with :meth:`repro.sim.machine.Machine.attach_tracer`; tracing is
+entirely optional and costs nothing when absent.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["TraceEvent", "MachineSample", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced protocol event."""
+
+    cycle: int
+    kind: str
+    node: Optional[int]
+    detail: Dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MachineSample:
+    """Periodic machine snapshot."""
+
+    cycle: int
+    in_flight_messages: int
+    messages_sent: int
+    transactions_completed: int
+    cache_hits: int
+
+
+#: Event kinds the stats hooks emit.
+EVENT_KINDS = (
+    "message_sent",
+    "message_delivered",
+    "transaction_started",
+    "transaction_completed",
+    "cache_hit",
+    "cache_eviction",
+)
+
+
+class Tracer:
+    """Bounded event recorder plus periodic sampler.
+
+    Parameters
+    ----------
+    kinds:
+        Event kinds to keep (default: all of :data:`EVENT_KINDS`).
+        Filtering at capture keeps high-rate runs cheap.
+    capacity:
+        Ring-buffer size; the oldest events fall off first.
+    sample_interval:
+        Cycles between machine snapshots (0 disables sampling).
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        capacity: int = 100_000,
+        sample_interval: int = 0,
+    ):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity!r}")
+        if sample_interval < 0:
+            raise ParameterError(
+                f"sample_interval must be >= 0, got {sample_interval!r}"
+            )
+        if kinds is not None:
+            unknown = set(kinds) - set(EVENT_KINDS)
+            if unknown:
+                raise ParameterError(
+                    f"unknown event kinds: {sorted(unknown)}; "
+                    f"known: {list(EVENT_KINDS)}"
+                )
+        self._kinds = set(kinds) if kinds is not None else set(EVENT_KINDS)
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.samples: List[MachineSample] = []
+        self.sample_interval = sample_interval
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Capture (called by the stats hooks / machine step).
+    # ------------------------------------------------------------------
+
+    def wants(self, kind: str) -> bool:
+        return kind in self._kinds
+
+    def record(self, kind: str, cycle: int, node: Optional[int], **detail) -> None:
+        if kind not in self._kinds:
+            return
+        if len(self.events) == self.events.maxlen:
+            self._dropped += 1
+        self.events.append(
+            TraceEvent(cycle=cycle, kind=kind, node=node, detail=detail)
+        )
+
+    def on_cycle(self, machine, cycle: int) -> None:
+        """Periodic sampling hook (called by ``Machine.step``)."""
+        if self.sample_interval <= 0 or cycle % self.sample_interval != 0:
+            return
+        stats = machine.stats
+        self.samples.append(
+            MachineSample(
+                cycle=cycle,
+                in_flight_messages=machine.fabric.in_flight,
+                messages_sent=stats.messages_sent,
+                transactions_completed=(
+                    stats.remote_completed + stats.local_completed
+                ),
+                cache_hits=stats.cache_hits_count,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded because the ring buffer was full."""
+        return self._dropped
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def count_by_kind(self) -> Dict[str, int]:
+        return dict(Counter(event.kind for event in self.events))
+
+    def events_at_node(self, node: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.node == node]
+
+    def between(self, start: int, stop: int) -> List[TraceEvent]:
+        """Events with ``start <= cycle < stop``."""
+        return [e for e in self.events if start <= e.cycle < stop]
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> str:
+        """Write events (one JSON object per line); returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps({
+                    "cycle": event.cycle,
+                    "kind": event.kind,
+                    "node": event.node,
+                    **event.detail,
+                }))
+                handle.write("\n")
+        return path

@@ -1,0 +1,224 @@
+"""Inter-thread communication graphs.
+
+An application's *physical locality* lives in the structure of its
+communication graph: how often each pair of threads exchanges data.  This
+module provides the graphs the experiments need — above all the paper's
+synthetic application, whose 64 threads talk to their neighbors in a
+radix-8 two-dimensional torus pattern (Section 3.2) — plus structureless
+baselines (uniform random, all-to-all) for contrast.
+
+A graph is represented as a :class:`CommunicationGraph`: a set of weighted
+directed edges over thread identifiers ``0 .. threads - 1``, where the
+weight of ``(a, b)`` is the relative frequency with which thread ``a``
+sends to thread ``b``.  Weights need not be normalized; consumers work
+with weighted averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.torus import Torus
+
+__all__ = [
+    "CommunicationGraph",
+    "torus_neighbor_graph",
+    "ring_graph",
+    "all_to_all_graph",
+    "nearest_neighbor_grid_graph",
+    "butterfly_exchange_graph",
+    "star_graph",
+    "nine_point_stencil_graph",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CommunicationGraph:
+    """Weighted directed communication pattern over ``threads`` threads."""
+
+    threads: int
+    weights: Dict[Edge, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise TopologyError(f"threads must be >= 1, got {self.threads!r}")
+        for (src, dst), weight in self.weights.items():
+            if not 0 <= src < self.threads or not 0 <= dst < self.threads:
+                raise TopologyError(
+                    f"edge ({src}, {dst}) outside thread range 0..{self.threads - 1}"
+                )
+            if src == dst:
+                raise TopologyError(f"self-edge on thread {src} is not allowed")
+            if not weight > 0:
+                raise TopologyError(
+                    f"edge ({src}, {dst}) must have positive weight, got {weight!r}"
+                )
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """All (source, destination, weight) triples."""
+        for (src, dst), weight in self.weights.items():
+            yield src, dst, weight
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights (the normalization constant)."""
+        return sum(self.weights.values())
+
+    def out_neighbors(self, thread: int) -> Iterator[Tuple[int, float]]:
+        """Destinations and weights of a thread's outgoing edges."""
+        if not 0 <= thread < self.threads:
+            raise TopologyError(
+                f"thread {thread!r} outside 0..{self.threads - 1}"
+            )
+        for (src, dst), weight in self.weights.items():
+            if src == thread:
+                yield dst, weight
+
+    def degree_out(self, thread: int) -> int:
+        """Number of distinct destinations a thread sends to."""
+        return sum(1 for _ in self.out_neighbors(thread))
+
+    @classmethod
+    def from_edges(
+        cls, threads: int, edges: Iterable[Edge], weight: float = 1.0
+    ) -> "CommunicationGraph":
+        """Uniformly weighted graph from an edge iterable."""
+        weights = {}
+        for edge in edges:
+            weights[edge] = weights.get(edge, 0.0) + weight
+        return cls(threads=threads, weights=weights)
+
+
+def torus_neighbor_graph(radix: int, dimensions: int) -> CommunicationGraph:
+    """The paper's synthetic application pattern (Section 3.2).
+
+    Thread ``i`` communicates with each of its torus neighbors (reads
+    every neighbor's state word each iteration), so the communication
+    graph is exactly the k-ary n-cube adjacency — which is why an ideal
+    mapping onto the same-shape machine needs only single-hop messages.
+    """
+    torus = Torus(radix=radix, dimensions=dimensions)
+    edges = []
+    for node in torus.nodes():
+        for neighbor in torus.neighbors(node):
+            edges.append((node, neighbor))
+    return CommunicationGraph.from_edges(torus.node_count, edges)
+
+
+def ring_graph(threads: int, bidirectional: bool = True) -> CommunicationGraph:
+    """Threads arranged in a ring (a 1-D torus pattern)."""
+    if threads < 2:
+        raise TopologyError(f"a ring needs >= 2 threads, got {threads!r}")
+    edges = []
+    for thread in range(threads):
+        succ = (thread + 1) % threads
+        if succ != thread:
+            edges.append((thread, succ))
+            if bidirectional:
+                edges.append((succ, thread))
+    return CommunicationGraph.from_edges(threads, edges)
+
+
+def all_to_all_graph(threads: int) -> CommunicationGraph:
+    """Every distinct pair communicates equally — zero physical locality.
+
+    Section 1.1's definition: "an application in which all distinct pairs
+    of threads communicate equally has no physical locality."
+    """
+    if threads < 2:
+        raise TopologyError(f"all-to-all needs >= 2 threads, got {threads!r}")
+    edges = [
+        (src, dst)
+        for src in range(threads)
+        for dst in range(threads)
+        if src != dst
+    ]
+    return CommunicationGraph.from_edges(threads, edges)
+
+
+def nearest_neighbor_grid_graph(rows: int, cols: int) -> CommunicationGraph:
+    """Non-wrapping 2-D grid neighbors (stencil-style applications)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid must be >= 1x1, got {rows}x{cols}")
+    edges = []
+    for row in range(rows):
+        for col in range(cols):
+            thread = row * cols + col
+            if col + 1 < cols:
+                right = thread + 1
+                edges.append((thread, right))
+                edges.append((right, thread))
+            if row + 1 < rows:
+                down = thread + cols
+                edges.append((thread, down))
+                edges.append((down, thread))
+    return CommunicationGraph.from_edges(rows * cols, edges)
+
+
+def butterfly_exchange_graph(threads: int) -> CommunicationGraph:
+    """FFT butterfly pattern: thread ``i`` exchanges with ``i XOR 2^s``.
+
+    All ``log2(threads)`` stages are overlaid into one weighted graph
+    (each thread talks to every bit-flip partner equally) — the
+    communication structure of an in-place FFT or hypercube algorithm.
+    ``threads`` must be a power of two with at least two threads.
+    """
+    bits = threads.bit_length() - 1
+    if threads < 2 or 2**bits != threads:
+        raise TopologyError(
+            f"butterfly exchange needs a power-of-two thread count >= 2, "
+            f"got {threads}"
+        )
+    edges = []
+    for thread in range(threads):
+        for stage in range(bits):
+            edges.append((thread, thread ^ (1 << stage)))
+    return CommunicationGraph.from_edges(threads, edges)
+
+
+def star_graph(threads: int, center: int = 0) -> CommunicationGraph:
+    """Master-worker pattern: every thread exchanges with one center.
+
+    The convergecast structure behind reductions, work queues, and
+    hot locks; by construction it has no exploitable physical locality
+    beyond placing workers near the center.
+    """
+    if threads < 2:
+        raise TopologyError(f"a star needs >= 2 threads, got {threads!r}")
+    if not 0 <= center < threads:
+        raise TopologyError(
+            f"center {center!r} outside 0..{threads - 1}"
+        )
+    edges = []
+    for thread in range(threads):
+        if thread != center:
+            edges.append((thread, center))
+            edges.append((center, thread))
+    return CommunicationGraph.from_edges(threads, edges)
+
+
+def nine_point_stencil_graph(rows: int, cols: int) -> CommunicationGraph:
+    """Non-wrapping 2-D grid with diagonal neighbors (9-point stencil).
+
+    The communication pattern of higher-order finite-difference and
+    image-processing kernels; denser than the 5-point stencil but still
+    strongly local.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid must be >= 1x1, got {rows}x{cols}")
+    edges = []
+    for row in range(rows):
+        for col in range(cols):
+            thread = row * cols + col
+            for d_row in (-1, 0, 1):
+                for d_col in (-1, 0, 1):
+                    if d_row == 0 and d_col == 0:
+                        continue
+                    n_row, n_col = row + d_row, col + d_col
+                    if 0 <= n_row < rows and 0 <= n_col < cols:
+                        edges.append((thread, n_row * cols + n_col))
+    return CommunicationGraph.from_edges(rows * cols, edges)

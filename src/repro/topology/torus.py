@@ -1,0 +1,224 @@
+"""k-ary n-dimensional torus topology.
+
+The paper's machines are k-ary n-cubes with wraparound (torus) links and
+separate unidirectional channels in both directions of every dimension
+(Section 3.1 describes the 64-node radix-8 two-dimensional instance).
+This module provides the exact discrete geometry the analytical model
+abstracts: node coordinates, neighbor relationships, e-cube routes, and
+hop distances.
+
+Nodes are identified by integers ``0 .. k**n - 1``; the coordinate of node
+``i`` in dimension ``j`` is digit ``j`` of ``i`` written radix ``k``
+(dimension 0 is the least significant digit).  E-cube routing resolves
+dimensions in increasing order, taking the shorter way around each ring
+(ties at exactly half-way go in the positive direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["Torus"]
+
+
+@dataclass(frozen=True)
+class Torus:
+    """A k-ary n-cube torus.
+
+    Parameters
+    ----------
+    radix:
+        ``k``, nodes per dimension; must be >= 1.
+    dimensions:
+        ``n``; must be >= 1.
+    """
+
+    radix: int
+    dimensions: int
+
+    def __post_init__(self) -> None:
+        if self.radix < 1:
+            raise TopologyError(f"radix k must be >= 1, got {self.radix!r}")
+        if self.dimensions < 1:
+            raise TopologyError(
+                f"dimensions n must be >= 1, got {self.dimensions!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Size and identity.
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes ``N = k**n``."""
+        return self.radix**self.dimensions
+
+    def nodes(self) -> range:
+        """All node identifiers."""
+        return range(self.node_count)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise TopologyError(
+                f"node {node!r} outside 0..{self.node_count - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Coordinates.
+    # ------------------------------------------------------------------
+
+    def coordinates(self, node: int) -> Tuple[int, ...]:
+        """Radix-k digits of ``node``, dimension 0 first."""
+        self._check_node(node)
+        coords = []
+        remaining = node
+        for _ in range(self.dimensions):
+            coords.append(remaining % self.radix)
+            remaining //= self.radix
+        return tuple(coords)
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        """Node identifier for a coordinate tuple."""
+        if len(coords) != self.dimensions:
+            raise TopologyError(
+                f"expected {self.dimensions} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for dim in reversed(range(self.dimensions)):
+            coord = coords[dim]
+            if not 0 <= coord < self.radix:
+                raise TopologyError(
+                    f"coordinate {coord!r} outside 0..{self.radix - 1} "
+                    f"in dimension {dim}"
+                )
+            node = node * self.radix + coord
+        return node
+
+    # ------------------------------------------------------------------
+    # Distance.
+    # ------------------------------------------------------------------
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Shortest hop count between two positions on one ring."""
+        delta = abs(a - b)
+        return min(delta, self.radix - delta)
+
+    def distance(self, source: int, destination: int) -> int:
+        """Shortest torus hop distance between two nodes."""
+        src = self.coordinates(source)
+        dst = self.coordinates(destination)
+        return sum(self.ring_distance(a, b) for a, b in zip(src, dst))
+
+    def distance_vector(self, source: int, destination: int) -> Tuple[int, ...]:
+        """Signed per-dimension offsets along the e-cube route.
+
+        Positive entries mean travel in the increasing-coordinate
+        direction; magnitudes sum to :meth:`distance`.  A tie (offset of
+        exactly ``k/2`` on an even ring) resolves positive.
+        """
+        src = self.coordinates(source)
+        dst = self.coordinates(destination)
+        offsets = []
+        for a, b in zip(src, dst):
+            forward = (b - a) % self.radix
+            backward = self.radix - forward
+            if forward == 0:
+                offsets.append(0)
+            elif forward <= backward:
+                offsets.append(forward)
+            else:
+                offsets.append(-backward)
+        return tuple(offsets)
+
+    # ------------------------------------------------------------------
+    # Neighborhood and routes.
+    # ------------------------------------------------------------------
+
+    def neighbor(self, node: int, dimension: int, step: int) -> int:
+        """Node one hop away along ``dimension`` (``step`` = +1 or -1)."""
+        if not 0 <= dimension < self.dimensions:
+            raise TopologyError(
+                f"dimension {dimension!r} outside 0..{self.dimensions - 1}"
+            )
+        if step not in (1, -1):
+            raise TopologyError(f"step must be +1 or -1, got {step!r}")
+        coords = list(self.coordinates(node))
+        coords[dimension] = (coords[dimension] + step) % self.radix
+        return self.node_at(coords)
+
+    def neighbors(self, node: int) -> List[int]:
+        """All distinct single-hop neighbors of ``node``.
+
+        On a radix-2 ring the +1 and -1 neighbors coincide; duplicates
+        are removed, and on a radix-1 ring a node has no neighbors.
+        """
+        result: List[int] = []
+        for dim in range(self.dimensions):
+            for step in (1, -1):
+                if self.radix == 1:
+                    continue
+                candidate = self.neighbor(node, dim, step)
+                if candidate != node and candidate not in result:
+                    result.append(candidate)
+        return result
+
+    def ecube_route(self, source: int, destination: int) -> List[int]:
+        """Nodes visited by e-cube routing, inclusive of both endpoints.
+
+        Dimensions are corrected in increasing order; within a dimension
+        the route takes the shorter ring direction (positive on ties).
+        """
+        self._check_node(destination)
+        route = [source]
+        coords = list(self.coordinates(source))
+        offsets = self.distance_vector(source, destination)
+        for dim, offset in enumerate(offsets):
+            step = 1 if offset > 0 else -1
+            for _ in range(abs(offset)):
+                coords[dim] = (coords[dim] + step) % self.radix
+                route.append(self.node_at(coords))
+        return route
+
+    def route_hops(
+        self, source: int, destination: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Channels used by the e-cube route as (node, dimension, step)."""
+        coords = list(self.coordinates(source))
+        offsets = self.distance_vector(source, destination)
+        for dim, offset in enumerate(offsets):
+            step = 1 if offset > 0 else -1
+            for _ in range(abs(offset)):
+                yield self.node_at(coords), dim, step
+                coords[dim] = (coords[dim] + step) % self.radix
+
+    # ------------------------------------------------------------------
+    # Aggregate geometry.
+    # ------------------------------------------------------------------
+
+    def average_pair_distance(self, include_self: bool = False) -> float:
+        """Exact mean distance over ordered node pairs.
+
+        With ``include_self=False`` (the paper's convention: "nodes never
+        send messages to themselves") the average runs over the
+        ``N * (N - 1)`` ordered pairs of distinct nodes.  Computed from
+        per-ring distance sums in O(k * n), not by pair enumeration.
+        """
+        # Sum of ring distances from a fixed position to all k positions
+        # (including itself at 0) is the same for every position.
+        ring_sum = sum(self.ring_distance(0, other) for other in range(self.radix))
+        nodes = self.node_count
+        # Each dimension contributes ring_sum * k**(n-1) per source over
+        # all destinations (the other dimensions range freely).
+        total = self.dimensions * ring_sum * self.radix ** (self.dimensions - 1)
+        if include_self:
+            return total / nodes
+        if nodes == 1:
+            raise TopologyError("no distinct pairs in a single-node torus")
+        return total * nodes / (nodes * (nodes - 1))
+
+    def diameter(self) -> int:
+        """Maximum shortest-path distance between any two nodes."""
+        return self.dimensions * (self.radix // 2)

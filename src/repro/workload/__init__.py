@@ -1,0 +1,28 @@
+"""Workloads: thread programs that drive the simulator."""
+
+from repro.workload.base import Block, ThreadProgram, jittered_cycles
+from repro.workload.generators import (
+    HotSpotProgram,
+    PermutationProgram,
+    UniformRandomProgram,
+    bit_reverse_partners,
+    transpose_partners,
+    uniform_random_graph_programs,
+)
+from repro.workload.scripted import ScriptedProgram
+from repro.workload.synthetic import NeighborExchangeProgram, build_programs
+
+__all__ = [
+    "ThreadProgram",
+    "Block",
+    "jittered_cycles",
+    "NeighborExchangeProgram",
+    "build_programs",
+    "ScriptedProgram",
+    "UniformRandomProgram",
+    "PermutationProgram",
+    "HotSpotProgram",
+    "transpose_partners",
+    "bit_reverse_partners",
+    "uniform_random_graph_programs",
+]

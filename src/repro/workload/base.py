@@ -1,0 +1,49 @@
+"""Thread program abstraction.
+
+A :class:`ThreadProgram` drives one hardware context: the processor
+alternates between ``compute_cycles()`` of useful work and the memory
+access returned by ``next_access()``.  Programs are deliberately tiny
+state machines — the simulator models timing, not computation.
+
+Blocks are identified by ``(instance, owner_thread)`` pairs: the paper's
+multi-context experiments run one independent copy of the application per
+hardware context ("no data is shared between application instances"), so
+the instance id keeps their address spaces disjoint.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Tuple
+
+Block = Tuple[int, int]
+
+__all__ = ["ThreadProgram", "Block", "jittered_cycles"]
+
+
+class ThreadProgram(Protocol):
+    """What a hardware context executes."""
+
+    def compute_cycles(self, rng: random.Random) -> int:
+        """Processor cycles of useful work before the next access."""
+        ...
+
+    def next_access(self, rng: random.Random) -> Tuple[Block, bool]:
+        """The next memory access as ``(block, is_write)``."""
+        ...
+
+
+def jittered_cycles(
+    base: int, jitter_fraction: float, rng: random.Random
+) -> int:
+    """A run length of ``base`` cycles with uniform +/- jitter.
+
+    Jitter breaks the phase-locking a fully deterministic workload
+    produces on a synchronous machine; the mean is preserved and results
+    stay deterministic for a seeded generator.  Always returns >= 1.
+    """
+    if jitter_fraction <= 0.0:
+        return max(1, base)
+    spread = base * jitter_fraction
+    value = rng.uniform(base - spread, base + spread)
+    return max(1, round(value))

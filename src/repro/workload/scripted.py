@@ -1,0 +1,125 @@
+"""Scripted thread programs: replay a fixed access sequence.
+
+Useful for protocol tests (drive exact interleavings), microbenchmarks,
+and trace-driven experiments.  A :class:`ScriptedProgram` plays its
+access list once (or cyclically) with fixed compute gaps; when a
+non-cyclic script is exhausted the thread spins on long compute bursts,
+touching nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.workload.base import Block
+
+__all__ = ["ScriptedProgram"]
+
+#: Compute burst used once a non-cyclic script is exhausted.
+_IDLE_BURST_CYCLES = 1_000_000
+
+
+@dataclass
+class ScriptedProgram:
+    """Replay ``accesses`` with ``gap_cycles`` of compute between them.
+
+    Parameters
+    ----------
+    accesses:
+        Sequence of ``(block, is_write)`` pairs.
+    gap_cycles:
+        Processor cycles of compute before each access; must be >= 1.
+    cyclic:
+        Loop forever (True) or play once and then idle (False).
+    """
+
+    accesses: Sequence[Tuple[Block, bool]]
+    gap_cycles: int = 4
+    cyclic: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.accesses:
+            raise ParameterError("a scripted program needs >= 1 access")
+        if self.gap_cycles < 1:
+            raise ParameterError(
+                f"gap_cycles must be >= 1, got {self.gap_cycles!r}"
+            )
+        self._position = 0
+        self._exhausted = False
+
+    @property
+    def finished(self) -> bool:
+        """True once a non-cyclic script has been fully replayed."""
+        return self._exhausted
+
+    def compute_cycles(self, rng: random.Random) -> int:
+        if self._exhausted:
+            return _IDLE_BURST_CYCLES
+        return self.gap_cycles
+
+    def next_access(self, rng: random.Random) -> Tuple[Block, bool]:
+        if self._exhausted:
+            # Touch our own first-scripted block read-only; by the time a
+            # script is exhausted this is a guaranteed cache hit, so the
+            # thread generates no further traffic.
+            return self.accesses[0][0], False
+        access = self.accesses[self._position]
+        self._position += 1
+        if self._position >= len(self.accesses):
+            if self.cyclic:
+                self._position = 0
+            else:
+                self._exhausted = True
+        return access
+
+    @classmethod
+    def single(cls, block: Block, is_write: bool) -> "ScriptedProgram":
+        """One access, then idle."""
+        return cls(accesses=[(block, is_write)], cyclic=False)
+
+    @classmethod
+    def random_script(
+        cls,
+        instance: int,
+        thread: int,
+        threads: int,
+        length: int,
+        seed: int,
+        write_fraction: float = 0.3,
+        gap_cycles: int = 4,
+        remote_writes: bool = False,
+    ) -> "ScriptedProgram":
+        """A seeded random access script for stress testing.
+
+        Reads target random other threads' blocks.  Writes target the
+        thread's own block by default (the paper's owner-writes pattern);
+        with ``remote_writes=True`` they target random blocks instead,
+        exercising the protocol's write-request / ownership-steal paths.
+        """
+        if threads < 2:
+            raise ParameterError("random scripts need >= 2 threads")
+        if length < 1:
+            raise ParameterError(f"length must be >= 1, got {length!r}")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ParameterError(
+                f"write_fraction must lie in [0, 1], got {write_fraction!r}"
+            )
+        generator = random.Random(seed * 9176 + thread)
+
+        def random_other() -> int:
+            target = generator.randrange(threads - 1)
+            return target + 1 if target >= thread else target
+
+        accesses: List[Tuple[Block, bool]] = []
+        for _ in range(length):
+            if generator.random() < write_fraction:
+                owner = (
+                    generator.randrange(threads) if remote_writes else thread
+                )
+                accesses.append(((instance, owner), True))
+            else:
+                accesses.append(((instance, random_other()), False))
+        return cls(accesses=accesses, gap_cycles=gap_cycles, cyclic=True)

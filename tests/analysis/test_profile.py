@@ -1,0 +1,85 @@
+"""Tests for locality profiles."""
+
+import pytest
+
+from repro.analysis.profile import locality_profile
+from repro.errors import ParameterError
+from repro.experiments.alewife import alewife_system
+from repro.mapping.strategies import (
+    dimension_scale_mapping,
+    identity_mapping,
+    random_mapping,
+)
+from repro.topology.graphs import torus_neighbor_graph
+from repro.topology.torus import Torus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    torus = Torus(radix=8, dimensions=2)
+    graph = torus_neighbor_graph(8, 2)
+    system = alewife_system(contexts=2)
+    candidates = [
+        ("ideal", identity_mapping(64)),
+        ("scattered", dimension_scale_mapping(torus, [3, 3])),
+        ("random", random_mapping(64, seed=4)),
+    ]
+    return system, graph, torus, candidates
+
+
+class TestLocalityProfile:
+    def test_sorted_best_first(self, setup):
+        system, graph, torus, candidates = setup
+        profile = locality_profile(system, graph, torus, candidates)
+        rates = [e.transaction_rate for e in profile.entries]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_ideal_wins(self, setup):
+        system, graph, torus, candidates = setup
+        profile = locality_profile(system, graph, torus, candidates)
+        assert profile.best.name == "ideal"
+        assert profile.best.distance == pytest.approx(1.0)
+
+    def test_spread_at_least_one(self, setup):
+        system, graph, torus, candidates = setup
+        profile = locality_profile(system, graph, torus, candidates)
+        assert profile.spread >= 1.0
+        assert profile.worst.distance > profile.best.distance
+
+    def test_relative_rate(self, setup):
+        system, graph, torus, candidates = setup
+        profile = locality_profile(system, graph, torus, candidates)
+        assert profile.relative_rate("ideal") == pytest.approx(1.0)
+        assert profile.relative_rate("random") < 1.0
+
+    def test_relative_rate_unknown_name(self, setup):
+        system, graph, torus, candidates = setup
+        profile = locality_profile(system, graph, torus, candidates)
+        with pytest.raises(KeyError):
+            profile.relative_rate("nope")
+
+    def test_rejects_empty_candidates(self, setup):
+        system, graph, torus, _ = setup
+        with pytest.raises(ParameterError):
+            locality_profile(system, graph, torus, [])
+
+    def test_rejects_dimension_mismatch(self, setup):
+        system, graph, _, candidates = setup
+        torus_3d = Torus(radix=4, dimensions=3)
+        with pytest.raises(ParameterError):
+            locality_profile(system, graph, torus_3d, candidates)
+
+    def test_collocated_mapping_allowed(self):
+        # Many-to-one mappings give distance 0; the profile clamps to a
+        # positive model distance rather than failing.
+        from repro.mapping.base import Mapping
+
+        torus = Torus(radix=2, dimensions=2)
+        graph = torus_neighbor_graph(2, 2)
+        system = alewife_system(contexts=1)
+        everyone_on_zero = Mapping(assignment=(0, 0, 0, 0), processors=4)
+        profile = locality_profile(
+            system, graph, torus, [("collocated", everyone_on_zero)]
+        )
+        assert profile.best.distance == 0.0
+        assert profile.best.transaction_rate > 0

@@ -1,0 +1,42 @@
+"""Tests for the reproduction report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_selected_experiments_only(self):
+        text = generate_report(["table-1"], quick=True)
+        assert "table-1" in text
+        assert "figure-3" not in text
+
+    def test_tables_are_fenced(self):
+        text = generate_report(["table-1"], quick=True)
+        assert text.count("```") >= 2
+
+    def test_notes_become_bullets(self):
+        text = generate_report(["table-1"], quick=True)
+        assert "\n- " in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(["figure-99"], quick=True)
+
+    def test_analytic_subset_renders_fully(self):
+        text = generate_report(
+            ["figure-6", "figure-7", "figure-8", "table-1", "ucl-vs-nucl"],
+            quick=True,
+        )
+        for identifier in ("figure-6", "figure-7", "figure-8", "table-1"):
+            assert f"## {identifier}:" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        returned = write_report(str(path), ["table-1"], quick=True)
+        assert returned == str(path)
+        content = path.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "table-1" in content

@@ -1,0 +1,83 @@
+"""Tests for the Section 3.3 validation pipeline (quick windows)."""
+
+import pytest
+
+from repro.analysis.validation import run_validation, simulate_mapping_suite
+from repro.mapping.families import NamedMapping, paper_mapping_suite
+from repro.mapping.strategies import identity_mapping, random_mapping
+from repro.sim.config import SimulationConfig
+from repro.topology.torus import Torus
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return SimulationConfig(
+        radix=4,
+        dimensions=2,
+        contexts=1,
+        warmup_network_cycles=800,
+        measure_network_cycles=4000,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_mappings():
+    torus = Torus(radix=4, dimensions=2)
+    return paper_mapping_suite(torus, adversarial_steps=800)
+
+
+@pytest.fixture(scope="module")
+def report(quick_config, small_mappings):
+    return run_validation(quick_config, small_mappings)
+
+
+class TestSimulateMappingSuite:
+    def test_one_point_per_mapping(self, quick_config, small_mappings):
+        points = simulate_mapping_suite(quick_config, small_mappings)
+        assert len(points) == len(small_mappings)
+
+    def test_measured_hops_track_mapping_distance(
+        self, quick_config, small_mappings
+    ):
+        points = simulate_mapping_suite(quick_config, small_mappings)
+        for named, point in zip(small_mappings, points):
+            assert point.summary.mean_message_hops == pytest.approx(
+                named.distance, abs=0.35
+            )
+
+
+class TestRunValidation:
+    def test_report_shape(self, report, small_mappings):
+        assert report.contexts == 1
+        assert len(report.rows) == len(small_mappings)
+
+    def test_fitted_slope_positive_and_reasonable(self, report):
+        # Expected s = g/c ~ 1.5 for one context; allow a broad band for
+        # the short measurement window.
+        assert 0.8 < report.curve.sensitivity < 3.0
+
+    def test_message_size_near_twelve_flits(self, report):
+        assert 10.0 < report.message_size < 14.0
+
+    def test_rate_predictions_in_band(self, report):
+        # Full-length runs hold ~5-10% at one context; the quick window
+        # and 16-node machine loosen it somewhat.
+        assert report.mean_rate_error < 0.25
+        assert report.max_rate_error < 0.45
+
+    def test_latency_tracking(self, report):
+        assert report.max_latency_error_cycles < 15.0
+
+    def test_errors_reported_signed(self, report):
+        row = report.rows[0]
+        reconstructed = (
+            row.predicted.message_rate - row.simulated.message_rate
+        ) / row.simulated.message_rate
+        assert row.rate_error == pytest.approx(reconstructed)
+
+    def test_rejects_single_mapping(self, quick_config):
+        only = [
+            NamedMapping("ideal", identity_mapping(16), 1.0),
+        ]
+        with pytest.raises(Exception):
+            run_validation(quick_config, only)

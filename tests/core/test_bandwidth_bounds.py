@@ -1,0 +1,78 @@
+"""Tests for the bandwidth-bound asymptotics (Section 4.1 corollaries)."""
+
+import pytest
+
+from repro.core.limits import (
+    bandwidth_bound_issue_time,
+    bandwidth_gain_ceiling,
+)
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.core.combined import solve
+from repro.errors import ParameterError
+from repro.experiments.alewife import alewife_system
+
+
+class TestBandwidthBoundIssueTime:
+    def test_formula(self):
+        node = NodeModel(sensitivity=3.2, intercept=50.0,
+                         messages_per_transaction=3.2)
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        # g * B * k_d / 2 = 3.2 * 12 * 4 / 2.
+        assert bandwidth_bound_issue_time(node, network, 8.0) == pytest.approx(
+            76.8
+        )
+
+    def test_solved_issue_time_respects_the_floor(self):
+        # At huge distances the combined model's t_t approaches (and
+        # never beats) the bandwidth bound.
+        node = NodeModel(sensitivity=6.4, intercept=20.0,
+                         messages_per_transaction=3.2)
+        network = TorusNetworkModel(
+            dimensions=2, message_size=12.0, node_channel_contention=False
+        )
+        distance = 2000.0
+        floor = bandwidth_bound_issue_time(node, network, distance)
+        point = solve(node, network, distance)
+        assert point.issue_time >= floor
+        assert point.issue_time < 1.5 * floor  # deep in the bound regime
+
+    def test_context_independence_of_the_floor(self):
+        # The floor depends on g, B, k_d — not on sensitivity: this is
+        # why the Figure 7 curves converge.
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        one = NodeModel(sensitivity=1.6, intercept=50.0,
+                        messages_per_transaction=3.2)
+        four = NodeModel(sensitivity=6.4, intercept=50.0,
+                         messages_per_transaction=3.2)
+        assert bandwidth_bound_issue_time(
+            one, network, 100.0
+        ) == bandwidth_bound_issue_time(four, network, 100.0)
+
+
+class TestGainCeiling:
+    def test_ceiling_is_distance_ratio(self):
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        # At 10^6 nodes, random distance ~500 -> ceiling ~500.
+        assert bandwidth_gain_ceiling(network, 1e6) == pytest.approx(
+            500.0, rel=1e-3
+        )
+
+    def test_actual_gains_sit_below_the_ceiling(self):
+        for contexts in (1, 2, 4):
+            system = alewife_system(contexts=contexts)
+            for processors in (1000.0, 1e6):
+                gain = system.expected_gain(processors).gain
+                ceiling = bandwidth_gain_ceiling(system.network, processors)
+                assert gain < ceiling
+
+    def test_farther_ideal_distance_lowers_ceiling(self):
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        assert bandwidth_gain_ceiling(
+            network, 1e6, ideal_distance=2.0
+        ) == pytest.approx(bandwidth_gain_ceiling(network, 1e6) / 2.0)
+
+    def test_rejects_nonpositive_ideal_distance(self):
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        with pytest.raises(ParameterError):
+            bandwidth_gain_ceiling(network, 1e6, ideal_distance=0.0)

@@ -1,0 +1,109 @@
+"""Tests for the Eq 18 issue-time decomposition (paper Section 4.2)."""
+
+import pytest
+
+from repro.core.application import ApplicationModel
+from repro.core.breakdown import decompose
+from repro.core.combined import solve
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.core.transaction import TransactionModel
+from repro.units import ALEWIFE_CLOCKS
+
+
+@pytest.fixture
+def models():
+    application = ApplicationModel(grain=8.0, contexts=2.0, switch_time=11.0)
+    transaction = TransactionModel(
+        critical_messages=2.0, messages_per_transaction=3.2, fixed_overhead=80.0
+    )
+    network = TorusNetworkModel(dimensions=2, message_size=12.0)
+    node = NodeModel.from_components(application, transaction, ALEWIFE_CLOCKS)
+    return application, transaction, network, node
+
+
+class TestDecomposition:
+    def test_components_sum_to_issue_time(self, models):
+        application, transaction, network, node = models
+        point = solve(node, network, distance=8.0)
+        breakdown = decompose(
+            point, application, transaction, network, ALEWIFE_CLOCKS
+        )
+        assert breakdown.total == pytest.approx(
+            point.issue_time_processor(ALEWIFE_CLOCKS), rel=1e-9
+        )
+
+    def test_cpu_component_is_grain_over_contexts(self, models):
+        application, transaction, network, node = models
+        point = solve(node, network, 8.0)
+        breakdown = decompose(
+            point, application, transaction, network, ALEWIFE_CLOCKS
+        )
+        assert breakdown.cpu == pytest.approx(4.0)
+
+    def test_fixed_transaction_component(self, models):
+        application, transaction, network, node = models
+        point = solve(node, network, 8.0)
+        breakdown = decompose(
+            point, application, transaction, network, ALEWIFE_CLOCKS
+        )
+        assert breakdown.fixed_transaction == pytest.approx(40.0)
+
+    def test_fixed_message_component_is_cb_converted(self, models):
+        application, transaction, network, node = models
+        point = solve(node, network, 8.0)
+        breakdown = decompose(
+            point, application, transaction, network, ALEWIFE_CLOCKS
+        )
+        # c*B/p network cycles = 2*12/2 = 12 -> 6 processor cycles.
+        assert breakdown.fixed_message == pytest.approx(6.0)
+
+    def test_only_variable_component_grows_with_distance(self, models):
+        application, transaction, network, node = models
+        near = decompose(
+            solve(node, network, 2.0), application, transaction, network,
+            ALEWIFE_CLOCKS,
+        )
+        far = decompose(
+            solve(node, network, 12.0), application, transaction, network,
+            ALEWIFE_CLOCKS,
+        )
+        assert far.variable_message > near.variable_message
+        assert far.fixed_message == pytest.approx(near.fixed_message)
+        assert far.fixed_transaction == pytest.approx(near.fixed_transaction)
+        assert far.cpu == pytest.approx(near.cpu)
+
+    def test_fixed_total_and_share(self, models):
+        application, transaction, network, node = models
+        breakdown = decompose(
+            solve(node, network, 8.0), application, transaction, network,
+            ALEWIFE_CLOCKS,
+        )
+        assert breakdown.fixed_total == pytest.approx(
+            breakdown.fixed_message + breakdown.fixed_transaction + breakdown.cpu
+        )
+        assert breakdown.fixed_transaction_share == pytest.approx(
+            breakdown.fixed_transaction / breakdown.fixed_total
+        )
+
+    def test_as_dict_uses_figure8_labels(self, models):
+        application, transaction, network, node = models
+        breakdown = decompose(
+            solve(node, network, 8.0), application, transaction, network,
+            ALEWIFE_CLOCKS,
+        )
+        labels = set(breakdown.as_dict())
+        assert "variable message overhead" in labels
+        assert "fixed transaction overhead" in labels
+        assert "CPU cycles" in labels
+
+    def test_node_channel_component_zero_when_disabled(self, models):
+        application, transaction, _, node = models
+        base_network = TorusNetworkModel(
+            dimensions=2, message_size=12.0, node_channel_contention=False
+        )
+        breakdown = decompose(
+            solve(node, base_network, 8.0), application, transaction,
+            base_network, ALEWIFE_CLOCKS,
+        )
+        assert breakdown.node_channel == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the shared-bus model."""
+
+import pytest
+
+from repro.core.bus import SharedBusModel
+from repro.core.combined import solve
+from repro.core.node import NodeModel
+from repro.errors import ParameterError, SaturationError
+
+
+@pytest.fixture
+def bus():
+    return SharedBusModel(message_size=12.0, arbitration_cycles=1.0)
+
+
+@pytest.fixture
+def node():
+    return NodeModel(sensitivity=1.6, intercept=90.0,
+                     messages_per_transaction=3.2)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_message_size(self):
+        with pytest.raises(ParameterError):
+            SharedBusModel(message_size=0.0)
+
+    def test_rejects_negative_arbitration(self):
+        with pytest.raises(ParameterError):
+            SharedBusModel(arbitration_cycles=-1.0)
+
+
+class TestBusPhysics:
+    def test_utilization_aggregates_all_nodes(self, bus):
+        assert bus.channel_utilization(0.001, 32) == pytest.approx(0.384)
+
+    def test_saturation_rate_falls_as_one_over_n(self, bus):
+        assert bus.saturation_rate(10) == pytest.approx(
+            2.0 * bus.saturation_rate(20)
+        )
+
+    def test_zero_load_latency_independent_of_size(self, bus):
+        assert bus.zero_load_latency(4) == bus.zero_load_latency(4096)
+        assert bus.zero_load_latency(4) == pytest.approx(13.0)
+
+    def test_latency_blows_up_near_saturation(self, bus):
+        rate = 0.95 * bus.saturation_rate(64)
+        low = bus.message_latency(0.1 * bus.saturation_rate(64), 64)
+        high = bus.message_latency(rate, 64)
+        assert high > 5 * low
+
+    def test_saturated_bus_raises(self, bus):
+        with pytest.raises(SaturationError):
+            bus.message_latency(bus.saturation_rate(64), 64)
+
+    def test_rejects_bad_node_count(self, bus):
+        with pytest.raises(ParameterError):
+            bus.zero_load_latency(0)
+
+
+class TestCombinedModelIntegration:
+    def test_solver_closes_the_loop(self, node, bus):
+        point = solve(node, bus, 64.0)
+        node_side = node.message_latency_at_rate(point.message_rate)
+        assert point.message_latency == pytest.approx(node_side, rel=1e-9)
+        assert 0 < point.utilization < 1
+
+    def test_per_node_rate_collapses_with_machine_size(self, node, bus):
+        rates = [solve(node, bus, float(n)).message_rate for n in (8, 64, 512)]
+        assert rates[0] > rates[1] > rates[2]
+        # Deep saturation: aggregate throughput pinned, per node ~ 1/N.
+        assert rates[2] == pytest.approx(rates[1] / 8, rel=0.35)
+
+    def test_organizations_experiment(self):
+        from repro.experiments.organizations import run
+
+        result = run(quick=True)
+        bus_series = result.data["bus"]
+        ideal_series = result.data["torus_ideal"]
+        # Bus per-node throughput falls monotonically and ends far below
+        # the locality-exploiting torus.
+        assert all(b <= a + 1e-12 for a, b in zip(bus_series, bus_series[1:]))
+        assert bus_series[-1] < 0.1 * ideal_series[-1]
+
+    def test_registered(self):
+        from repro.experiments.runner import experiment_ids
+
+        assert "organizations" in experiment_ids()

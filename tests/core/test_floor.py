@@ -1,0 +1,102 @@
+"""Tests for the Eq 4 issue-time floor solver."""
+
+import pytest
+
+from repro.core.application import ApplicationModel
+from repro.core.combined import solve, solve_with_floor
+from repro.core.network import TorusNetworkModel
+from repro.core.node import NodeModel
+from repro.core.system import SystemModel
+from repro.core.transaction import TransactionModel
+from repro.errors import ParameterError, SaturationError
+from repro.units import ALEWIFE_CLOCKS
+
+
+@pytest.fixture
+def network():
+    return TorusNetworkModel(dimensions=2, message_size=12.0)
+
+
+class TestSolveWithFloor:
+    def test_inactive_floor_returns_unconstrained_point(self, network):
+        node = NodeModel(sensitivity=1.6, intercept=100.0,
+                         messages_per_transaction=3.2)
+        free = solve(node, network, 8.0)
+        floored = solve_with_floor(node, network, 8.0, min_issue_time=10.0)
+        assert floored.message_rate == pytest.approx(free.message_rate)
+
+    def test_binding_floor_pins_issue_time(self, network):
+        # A very latency-tolerant node at a short distance would issue
+        # faster than the floor allows.
+        node = NodeModel(sensitivity=12.8, intercept=10.0,
+                         messages_per_transaction=3.2)
+        free = solve(node, network, 1.0)
+        floor = free.issue_time * 2.0
+        floored = solve_with_floor(node, network, 1.0, min_issue_time=floor)
+        assert floored.issue_time == pytest.approx(floor)
+        assert floored.message_rate < free.message_rate
+
+    def test_floored_latency_reads_off_network_curve(self, network):
+        node = NodeModel(sensitivity=12.8, intercept=10.0,
+                         messages_per_transaction=3.2)
+        free = solve(node, network, 1.0)
+        floor = free.issue_time * 2.0
+        floored = solve_with_floor(node, network, 1.0, min_issue_time=floor)
+        assert floored.message_latency == pytest.approx(
+            network.message_latency(floored.message_rate, 1.0)
+        )
+
+    def test_rejects_nonpositive_floor(self, network):
+        node = NodeModel(sensitivity=1.6, intercept=50.0)
+        with pytest.raises(ParameterError):
+            solve_with_floor(node, network, 4.0, min_issue_time=0.0)
+
+    def test_pinned_point_always_feasible(self, network):
+        # A binding floor lowers the rate below the free solution's, so
+        # the pinned point never saturates.
+        node = NodeModel(sensitivity=12.8, intercept=10.0,
+                         messages_per_transaction=3.2)
+        free = solve(node, network, 1.0)
+        floored = solve_with_floor(
+            node, network, 1.0, min_issue_time=free.issue_time * 3.0
+        )
+        assert floored.utilization < 1.0
+
+
+class TestSystemModelFloor:
+    @pytest.fixture
+    def tolerant_system(self):
+        # Eight contexts, tiny grain, slow context switch: the floor
+        # t_t >= T_r + T_s genuinely binds at d = 1.
+        return SystemModel(
+            application=ApplicationModel(
+                grain=2.0, contexts=8.0, switch_time=30.0
+            ),
+            transaction=TransactionModel(
+                critical_messages=2.0, messages_per_transaction=3.2,
+                fixed_overhead=10.0,
+            ),
+            network=TorusNetworkModel(
+                dimensions=2, message_size=12.0,
+                node_channel_contention=True,
+            ),
+            clocks=ALEWIFE_CLOCKS,
+        )
+
+    def test_floor_binds_for_extreme_multithreading(self, tolerant_system):
+        free = tolerant_system.operating_point(1.0)
+        floored = tolerant_system.operating_point(
+            1.0, respect_issue_floor=True
+        )
+        floor_network = tolerant_system.clocks.to_network(
+            tolerant_system.application.min_issue_time
+        )
+        assert free.issue_time < floor_network
+        assert floored.issue_time == pytest.approx(floor_network)
+
+    def test_floor_irrelevant_at_long_distance(self, tolerant_system):
+        free = tolerant_system.operating_point(50.0)
+        floored = tolerant_system.operating_point(
+            50.0, respect_issue_floor=True
+        )
+        assert floored.message_rate == pytest.approx(free.message_rate)

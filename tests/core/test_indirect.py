@@ -1,0 +1,120 @@
+"""Tests for the indirect (multistage/UCL) network model."""
+
+import pytest
+
+from repro.core.combined import solve
+from repro.core.indirect import IndirectNetworkModel
+from repro.core.node import NodeModel
+from repro.errors import ParameterError, SaturationError
+
+
+@pytest.fixture
+def butterfly():
+    return IndirectNetworkModel(switch_radix=4, message_size=12.0)
+
+
+@pytest.fixture
+def node():
+    return NodeModel(sensitivity=3.2, intercept=90.0, messages_per_transaction=3.2)
+
+
+class TestConstruction:
+    def test_rejects_radix_below_two(self):
+        with pytest.raises(ParameterError):
+            IndirectNetworkModel(switch_radix=1)
+
+    def test_rejects_nonpositive_message_size(self):
+        with pytest.raises(ParameterError):
+            IndirectNetworkModel(message_size=0.0)
+
+
+class TestStages:
+    def test_exact_powers(self, butterfly):
+        assert butterfly.stages_for(4) == 1
+        assert butterfly.stages_for(16) == 2
+        assert butterfly.stages_for(1024) == 5
+
+    def test_non_powers_round_up(self, butterfly):
+        assert butterfly.stages_for(100) == 4  # 4^3 = 64 < 100 <= 256
+
+    def test_binary_butterfly(self):
+        radix2 = IndirectNetworkModel(switch_radix=2)
+        assert radix2.stages_for(1024) == 10
+
+    def test_rejects_tiny_machines(self, butterfly):
+        with pytest.raises(ParameterError):
+            butterfly.stages_for(1)
+
+
+class TestUniformLatency:
+    def test_zero_load_latency_is_stages_plus_b(self, butterfly):
+        assert butterfly.zero_load_latency(5) == pytest.approx(17.0)
+
+    def test_latency_grows_with_machine_size(self, butterfly):
+        # The UCL defect: everyone pays more as N grows.
+        small = butterfly.message_latency(0.01, butterfly.stages_for(64))
+        large = butterfly.message_latency(0.01, butterfly.stages_for(65536))
+        assert large > small
+
+    def test_per_stage_latency_at_least_one(self, butterfly):
+        assert butterfly.per_hop_latency(0.0, 5) == pytest.approx(1.0)
+
+    def test_banyan_conflict_factor(self, butterfly):
+        assert butterfly.contention_geometry(5) == pytest.approx(0.75)
+
+    def test_saturation_at_link_capacity(self, butterfly):
+        with pytest.raises(SaturationError):
+            butterfly.per_hop_latency(1.0 / 12.0, 5)
+
+    def test_latency_monotone_in_rate(self, butterfly):
+        cap = butterfly.max_rate(5)
+        latencies = [
+            butterfly.message_latency(load * cap, 5)
+            for load in (0.1, 0.4, 0.7, 0.9)
+        ]
+        assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+
+class TestCombinedModelIntegration:
+    def test_solver_closes_the_loop(self, node, butterfly):
+        point = solve(node, butterfly, float(butterfly.stages_for(1024)))
+        node_side = node.message_latency_at_rate(point.message_rate)
+        assert point.message_latency == pytest.approx(node_side, rel=1e-9)
+        assert 0 < point.utilization < 1
+
+    def test_rates_fall_with_machine_size(self, node, butterfly):
+        rates = [
+            solve(node, butterfly, float(butterfly.stages_for(n))).message_rate
+            for n in (64, 4096, 262144)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_no_node_channel_term(self, butterfly):
+        assert butterfly.node_channel_delay(0.05) == 0.0
+
+    def test_describe_is_consistent(self, butterfly):
+        info = butterfly.describe(0.02, 5)
+        assert info["T_m"] == pytest.approx(butterfly.message_latency(0.02, 5))
+        assert info["rho"] == pytest.approx(0.24)
+
+
+class TestUclNuclExperiment:
+    def test_experiment_runs_and_shapes_hold(self):
+        from repro.experiments.ucl_nucl import run
+
+        result = run(quick=True)
+        ideal = result.data["ideal"]
+        random_ = result.data["random"]
+        ucl = result.data["ucl"]
+        # Ideal NUCL beats UCL at every size, by a growing factor.
+        ratios = [i / u for i, u in zip(ideal, ucl)]
+        assert all(r > 1.0 for r in ratios)
+        assert ratios[-1] > ratios[0]
+        # The bandwidth-rich butterfly overtakes the random mapping at
+        # scale.
+        assert random_[-1] / ucl[-1] < 1.0
+
+    def test_registered(self):
+        from repro.experiments.runner import experiment_ids
+
+        assert "ucl-vs-nucl" in experiment_ids()

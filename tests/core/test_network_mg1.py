@@ -1,0 +1,86 @@
+"""Tests for the M/G/1 node-channel extension (message-size variance)."""
+
+import pytest
+
+from repro.core.network import TorusNetworkModel
+from repro.errors import ParameterError
+
+
+class TestSecondMoment:
+    def test_default_is_deterministic_sizes(self):
+        network = TorusNetworkModel(dimensions=2, message_size=12.0)
+        # M/D/1: W = r * B^2 / (2(1-rho)) per channel, two channels.
+        rate = 0.02
+        rho = rate * 12.0
+        expected = 2.0 * rate * 144.0 / (2.0 * (1.0 - rho))
+        assert network.node_channel_delay(rate) == pytest.approx(expected)
+
+    def test_variance_increases_waiting(self):
+        deterministic = TorusNetworkModel(dimensions=2, message_size=12.0)
+        bimodal = TorusNetworkModel(
+            dimensions=2, message_size=12.0,
+            message_size_second_moment=192.0,  # 12 control@8 + 4 data@24
+        )
+        rate = 0.02
+        assert bimodal.node_channel_delay(rate) == pytest.approx(
+            deterministic.node_channel_delay(rate) * 192.0 / 144.0
+        )
+
+    def test_protocol_mix_second_moment(self):
+        # The validated protocol's steady-state mix: per 16 messages,
+        # 12 control (8 flits) + 4 data (24 flits).
+        sizes = [8] * 12 + [24] * 4
+        mean = sum(sizes) / len(sizes)
+        second = sum(s * s for s in sizes) / len(sizes)
+        assert mean == 12.0
+        assert second == 192.0
+
+    def test_rejects_second_moment_below_mean_squared(self):
+        with pytest.raises(ParameterError):
+            TorusNetworkModel(
+                dimensions=2, message_size=12.0,
+                message_size_second_moment=100.0,
+            )
+
+    def test_exact_square_allowed(self):
+        network = TorusNetworkModel(
+            dimensions=2, message_size=12.0,
+            message_size_second_moment=144.0,
+        )
+        baseline = TorusNetworkModel(dimensions=2, message_size=12.0)
+        assert network.node_channel_delay(0.02) == pytest.approx(
+            baseline.node_channel_delay(0.02)
+        )
+
+    def test_mesh_term_unaffected_by_variance(self):
+        # Only the node-channel term is M/G/1; Eq 14 stays Agarwal's.
+        a = TorusNetworkModel(dimensions=2, message_size=12.0)
+        b = TorusNetworkModel(
+            dimensions=2, message_size=12.0,
+            message_size_second_moment=300.0,
+        )
+        assert a.per_hop_latency(0.01, 8.0) == pytest.approx(
+            b.per_hop_latency(0.01, 8.0)
+        )
+
+    def test_summary_reports_second_moment(self):
+        from repro.mapping.strategies import identity_mapping
+        from repro.sim.config import SimulationConfig
+        from repro.sim.machine import Machine
+        from repro.topology.graphs import torus_neighbor_graph
+        from repro.workload.synthetic import build_programs
+
+        config = SimulationConfig(
+            radix=4, dimensions=2,
+            warmup_network_cycles=500, measure_network_cycles=2500,
+        )
+        graph = torus_neighbor_graph(4, 2)
+        programs = build_programs(graph, 1, config.compute_cycles, 0.5)
+        summary = Machine(config, identity_mapping(16), programs).run()
+        assert summary.mean_message_flits_squared >= (
+            summary.mean_message_flits**2
+        )
+        # Bimodal mix: noticeably above the deterministic floor.
+        assert summary.mean_message_flits_squared > (
+            1.2 * summary.mean_message_flits**2
+        )

@@ -1,0 +1,123 @@
+"""Tests for the sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.application import ApplicationModel
+from repro.core.network import TorusNetworkModel
+from repro.core.sweeps import (
+    gain_curve,
+    logspace_sizes,
+    sweep_distances,
+    sweep_network_slowdowns,
+)
+from repro.core.system import SystemModel
+from repro.core.transaction import TransactionModel
+from repro.units import ALEWIFE_CLOCKS
+
+
+@pytest.fixture
+def system():
+    return SystemModel(
+        application=ApplicationModel(grain=8.0, contexts=1.0, switch_time=11.0),
+        transaction=TransactionModel(
+            critical_messages=2.0, messages_per_transaction=3.2, fixed_overhead=40.0
+        ),
+        network=TorusNetworkModel(
+            dimensions=2, message_size=12.0, node_channel_contention=False
+        ),
+        clocks=ALEWIFE_CLOCKS,
+    )
+
+
+class TestSweepDistances:
+    def test_one_sample_per_distance(self, system):
+        samples = sweep_distances(system, [1.0, 2.0, 4.0])
+        assert [s.distance for s in samples] == [1.0, 2.0, 4.0]
+
+    def test_samples_are_solved_points(self, system):
+        (sample,) = sweep_distances(system, [4.0])
+        direct = system.operating_point(4.0)
+        assert sample.point.message_rate == pytest.approx(direct.message_rate)
+
+
+class TestGainCurve:
+    def test_curve_arrays_aligned(self, system):
+        curve = gain_curve(system, [100, 1000, 10000], label="p=1")
+        assert curve.label == "p=1"
+        assert list(curve.sizes) == [100, 1000, 10000]
+        assert len(curve.gains) == 3
+
+    def test_gains_increase_with_size(self, system):
+        curve = gain_curve(system, [100, 1000, 10000, 100000])
+        assert np.all(np.diff(curve.gains) > 0)
+
+    def test_gain_at_exact_size(self, system):
+        curve = gain_curve(system, [100, 1000])
+        assert curve.gain_at(1000) == pytest.approx(curve.gains[1])
+
+    def test_gain_at_unswept_size_raises(self, system):
+        curve = gain_curve(system, [100, 1000])
+        with pytest.raises(KeyError):
+            curve.gain_at(555)
+
+
+class TestSlowdownSweep:
+    def test_one_sample_per_factor(self, system):
+        samples = sweep_network_slowdowns(system, [1, 2, 4], sizes=[1000])
+        assert [s.slowdown for s in samples] == [1.0, 2.0, 4.0]
+
+    def test_network_speedups_recorded(self, system):
+        samples = sweep_network_slowdowns(system, [1, 2], sizes=[1000])
+        assert samples[0].network_speedup == pytest.approx(2.0)
+        assert samples[1].network_speedup == pytest.approx(1.0)
+
+    def test_gains_rise_with_slowdown(self, system):
+        # Table 1's trend.
+        samples = sweep_network_slowdowns(system, [1, 2, 4, 8], sizes=[1000])
+        gains = [s.gains_by_size[1000.0] for s in samples]
+        assert all(b > a for a, b in zip(gains, gains[1:]))
+
+
+class TestContextsSweep:
+    def test_one_sample_per_level(self, system):
+        from repro.core.sweeps import sweep_contexts
+
+        samples = sweep_contexts(system, [1, 2, 4], distance=8.0)
+        assert [s.contexts for s in samples] == [1.0, 2.0, 4.0]
+
+    def test_throughput_rises_with_contexts(self, system):
+        from repro.core.sweeps import sweep_contexts
+
+        samples = sweep_contexts(system, [1, 2, 4], distance=8.0)
+        throughputs = [s.throughput for s in samples]
+        assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_diminishing_returns(self, system):
+        from repro.core.sweeps import sweep_contexts
+
+        samples = sweep_contexts(system, [1, 2, 4], distance=8.0)
+        first_step = samples[1].throughput / samples[0].throughput
+        second_step = samples[2].throughput / samples[1].throughput
+        assert second_step < first_step
+
+    def test_limiting_per_hop_scales_with_sensitivity(self, system):
+        from repro.core.sweeps import sweep_contexts
+
+        samples = sweep_contexts(system, [1, 4], distance=8.0)
+        assert samples[1].limiting_per_hop == pytest.approx(
+            4.0 * samples[0].limiting_per_hop
+        )
+
+
+class TestLogspaceSizes:
+    def test_default_span(self):
+        sizes = logspace_sizes()
+        assert sizes[0] == pytest.approx(10.0)
+        assert sizes[-1] == pytest.approx(1e6)
+
+    def test_count(self):
+        assert len(logspace_sizes(count=7)) == 7
+
+    def test_monotone(self):
+        assert np.all(np.diff(logspace_sizes()) > 0)

@@ -1,0 +1,97 @@
+"""Tests for parameter-grid campaigns and result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import data_to_json, records_to_csv, rows_to_csv
+from repro.errors import ParameterError
+from repro.experiments.campaign import run_campaign
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(contexts=[1, 2], processors=[1e3, 1e6], slowdown=[1, 8])
+
+
+class TestRunCampaign:
+    def test_grid_size(self, small_campaign):
+        assert len(small_campaign) == 8
+
+    def test_where_filters_exactly(self, small_campaign):
+        subset = small_campaign.where(contexts=2, slowdown=8.0)
+        assert len(subset) == 2
+        assert all(r.contexts == 2 and r.slowdown == 8.0 for r in subset)
+
+    def test_where_rejects_unknown_axis(self, small_campaign):
+        with pytest.raises(ParameterError):
+            small_campaign.where(flux_capacitors=3)
+
+    def test_matches_direct_queries(self, small_campaign):
+        from repro.experiments.alewife import alewife_system
+
+        (record,) = small_campaign.where(
+            contexts=1, processors=1000.0, slowdown=1.0
+        )
+        direct = alewife_system(contexts=1).expected_gain(1000.0)
+        assert record.gain == pytest.approx(direct.gain)
+        assert record.random_distance == pytest.approx(direct.random_distance)
+
+    def test_slowdown_column_trend(self, small_campaign):
+        fast = small_campaign.where(contexts=1, processors=1e6, slowdown=1.0)
+        slow = small_campaign.where(contexts=1, processors=1e6, slowdown=8.0)
+        assert slow[0].gain > fast[0].gain
+
+    def test_render_truncation(self, small_campaign):
+        text = small_campaign.render(max_rows=3)
+        assert "showing 3 of 8" in text
+
+    def test_defaults_fill_unswept_axes(self):
+        campaign = run_campaign(contexts=[4])
+        assert len(campaign) == 1
+        assert campaign.records[0].dimensions == 2
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ParameterError):
+            run_campaign(warp=[9])
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ParameterError):
+            run_campaign(contexts=[])
+
+    def test_grain_scale_axis(self):
+        campaign = run_campaign(grain_scale=[1.0, 10.0], processors=[1e4])
+        fine, coarse = campaign.records
+        # Coarser grain -> less communication-bound -> smaller gain.
+        assert coarse.gain < fine.gain
+
+
+class TestExport:
+    def test_records_to_csv_roundtrip(self, small_campaign, tmp_path):
+        path = records_to_csv(
+            str(tmp_path / "campaign.csv"), small_campaign.records
+        )
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 8
+        assert float(rows[0]["gain"]) > 0
+
+    def test_rows_to_csv_validates_shape(self, tmp_path):
+        with pytest.raises(ParameterError):
+            rows_to_csv(str(tmp_path / "x.csv"), ["a", "b"], [(1,)])
+
+    def test_rows_to_csv_rejects_empty_headers(self, tmp_path):
+        with pytest.raises(ParameterError):
+            rows_to_csv(str(tmp_path / "x.csv"), [], [])
+
+    def test_records_to_csv_needs_records(self, tmp_path):
+        with pytest.raises(ParameterError):
+            records_to_csv(str(tmp_path / "x.csv"), [])
+
+    def test_data_to_json(self, tmp_path):
+        path = data_to_json(
+            str(tmp_path / "data.json"), {"sizes": [1, 2], "note": "x"}
+        )
+        loaded = json.load(open(path))
+        assert loaded["sizes"] == [1, 2]

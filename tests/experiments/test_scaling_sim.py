@@ -1,0 +1,38 @@
+"""Tests for the simulated machine-size scaling experiment."""
+
+import pytest
+
+from repro.experiments.scaling_sim import run
+from repro.experiments.validation_data import clear_cache
+
+
+@pytest.fixture(scope="module")
+def result():
+    clear_cache()
+    try:
+        yield run(quick=True)
+    finally:
+        clear_cache()
+
+
+class TestScalingSim:
+    def test_distance_rises_with_machine_size(self, result):
+        distances = result.data["distance"]
+        assert all(b > a for a, b in zip(distances, distances[1:]))
+
+    def test_utilization_rises_with_machine_size(self, result):
+        rhos = result.data["rho"]
+        assert all(b > a for a, b in zip(rhos, rhos[1:]))
+
+    def test_latency_rises_with_machine_size(self, result):
+        latencies = result.data["t_m_sim"]
+        assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+    def test_model_tracks_simulation(self, result):
+        for sim, model in zip(result.data["t_m_sim"], result.data["t_m_model"]):
+            assert model == pytest.approx(sim, rel=0.35)
+
+    def test_registered(self):
+        from repro.experiments.runner import experiment_ids
+
+        assert "scaling-sim" in experiment_ids()

@@ -1,0 +1,89 @@
+"""Tests for simulated-annealing mapping optimization."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.anneal import anneal_mapping
+from repro.mapping.evaluate import average_distance
+from repro.mapping.optimize import minimize_distance
+from repro.mapping.strategies import identity_mapping, random_mapping
+from repro.topology.graphs import torus_neighbor_graph
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def torus():
+    return Torus(radix=4, dimensions=2)
+
+
+@pytest.fixture
+def graph():
+    return torus_neighbor_graph(4, 2)
+
+
+class TestAnnealing:
+    def test_improves_random_start(self, torus, graph):
+        result = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=4000, seed=1
+        )
+        assert result.distance < result.initial_distance
+
+    def test_reported_distance_matches_mapping(self, torus, graph):
+        result = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=2000, seed=1
+        )
+        assert result.distance == pytest.approx(
+            average_distance(graph, result.mapping, torus)
+        )
+
+    def test_returns_best_not_final(self, torus, graph):
+        # best_distance is the reported distance by construction.
+        result = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=2000, seed=1
+        )
+        assert result.distance == result.best_distance
+
+    def test_deterministic(self, torus, graph):
+        a = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=1500, seed=42
+        )
+        b = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=1500, seed=42
+        )
+        assert a.mapping == b.mapping
+
+    def test_at_least_as_good_as_hill_climbing_on_average(self, torus, graph):
+        # Same budget, several seeds: annealing should not lose overall.
+        anneal_total = 0.0
+        climb_total = 0.0
+        for seed in range(4):
+            start = random_mapping(16, seed=seed)
+            anneal_total += anneal_mapping(
+                graph, torus, start, steps=4000, seed=seed
+            ).distance
+            climb_total += minimize_distance(
+                graph, torus, start, steps=4000, seed=seed
+            ).distance
+        assert anneal_total <= climb_total + 0.4
+
+    def test_result_is_bijective(self, torus, graph):
+        result = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=500, seed=1
+        )
+        assert result.mapping.is_bijective
+
+    @pytest.mark.parametrize("kwargs", [
+        {"steps": -1},
+        {"cooling": 1.0},
+        {"cooling": 0.0},
+        {"initial_temperature": 0.0},
+    ])
+    def test_rejects_bad_parameters(self, torus, graph, kwargs):
+        with pytest.raises(MappingError):
+            anneal_mapping(
+                graph, torus, identity_mapping(16), seed=1, **kwargs
+            )
+
+    def test_rejects_mismatched_sizes(self, torus, graph):
+        with pytest.raises(MappingError):
+            anneal_mapping(graph, torus, identity_mapping(8), steps=10)

@@ -1,0 +1,87 @@
+"""Tests for mapping evaluation (average communication distance)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.base import Mapping
+from repro.mapping.evaluate import (
+    average_distance,
+    distance_histogram,
+    evaluate,
+)
+from repro.mapping.strategies import identity_mapping, random_mapping
+from repro.topology.graphs import CommunicationGraph, torus_neighbor_graph
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def torus():
+    return Torus(radix=4, dimensions=2)
+
+
+@pytest.fixture
+def graph():
+    return torus_neighbor_graph(4, 2)
+
+
+class TestAverageDistance:
+    def test_identity_on_matching_graph_is_one(self, torus, graph):
+        assert average_distance(graph, identity_mapping(16), torus) == 1.0
+
+    def test_weighted_average(self, torus):
+        # Two edges: one mapped at distance 1 (weight 3), one at distance
+        # 2 (weight 1): average = (3*1 + 1*2)/4.
+        graph = CommunicationGraph(
+            threads=3, weights={(0, 1): 3.0, (0, 2): 1.0}
+        )
+        mapping = Mapping(assignment=(0, 1, 2), processors=16)
+        assert average_distance(graph, mapping, torus) == pytest.approx(1.25)
+
+    def test_collocation_contributes_zero(self, torus):
+        graph = CommunicationGraph(threads=2, weights={(0, 1): 1.0})
+        mapping = Mapping(assignment=(5, 5), processors=16)
+        assert average_distance(graph, mapping, torus) == 0.0
+
+    def test_rejects_thread_count_mismatch(self, torus, graph):
+        with pytest.raises(MappingError):
+            average_distance(graph, identity_mapping(8), torus)
+
+    def test_rejects_processor_count_mismatch(self, graph):
+        with pytest.raises(MappingError):
+            average_distance(
+                graph, identity_mapping(16), Torus(radix=8, dimensions=2)
+            )
+
+    def test_rejects_empty_graph(self, torus):
+        graph = CommunicationGraph(threads=16, weights={})
+        with pytest.raises(MappingError):
+            average_distance(graph, identity_mapping(16), torus)
+
+
+class TestHistogram:
+    def test_identity_histogram_all_at_one(self, torus, graph):
+        histogram = distance_histogram(graph, identity_mapping(16), torus)
+        assert set(histogram) == {1}
+        assert histogram[1] == pytest.approx(graph.total_weight)
+
+    def test_histogram_total_weight_preserved(self, torus, graph):
+        mapping = random_mapping(16, seed=3)
+        histogram = distance_histogram(graph, mapping, torus)
+        assert sum(histogram.values()) == pytest.approx(graph.total_weight)
+
+
+class TestEvaluate:
+    def test_summary_consistent_with_average(self, torus, graph):
+        mapping = random_mapping(16, seed=3)
+        summary = evaluate(graph, mapping, torus)
+        assert summary.average == pytest.approx(
+            average_distance(graph, mapping, torus)
+        )
+
+    def test_min_max_bracket_average(self, torus, graph):
+        summary = evaluate(graph, random_mapping(16, seed=3), torus)
+        assert summary.minimum <= summary.average <= summary.maximum
+
+    def test_per_dimension_is_kd(self, torus, graph):
+        summary = evaluate(graph, random_mapping(16, seed=3), torus)
+        assert summary.per_dimension == pytest.approx(summary.average / 2)

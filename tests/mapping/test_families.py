@@ -1,0 +1,69 @@
+"""Tests for the Section 3.2-style mapping suite."""
+
+import pytest
+
+from repro.mapping.evaluate import average_distance
+from repro.mapping.families import paper_mapping_suite
+from repro.topology.graphs import torus_neighbor_graph
+from repro.topology.torus import Torus
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus(radix=8, dimensions=2)
+
+
+@pytest.fixture(scope="module")
+def suite(torus):
+    return paper_mapping_suite(torus, adversarial_steps=3000)
+
+
+class TestSuiteShape:
+    def test_sorted_by_distance(self, suite):
+        distances = [named.distance for named in suite]
+        assert distances == sorted(distances)
+
+    def test_starts_at_ideal_single_hop(self, suite):
+        assert suite[0].name == "ideal"
+        assert suite[0].distance == pytest.approx(1.0)
+
+    def test_spans_one_to_six_hops(self, suite):
+        # Section 3.2: distances "ranged from one to just over six".
+        assert suite[0].distance == pytest.approx(1.0)
+        assert suite[-1].distance > 5.5
+
+    def test_has_paper_scale_coverage(self, suite):
+        # Several intermediate points between the extremes, as the nine
+        # mappings of the paper provide.
+        assert len(suite) >= 6
+        intermediate = [n for n in suite if 1.5 < n.distance < 5.0]
+        assert len(intermediate) >= 3
+
+    def test_all_bijective(self, suite):
+        assert all(named.mapping.is_bijective for named in suite)
+
+    def test_distances_match_reevaluation(self, suite, torus):
+        graph = torus_neighbor_graph(8, 2)
+        for named in suite:
+            assert named.distance == pytest.approx(
+                average_distance(graph, named.mapping, torus)
+            )
+
+    def test_deterministic(self, torus):
+        again = paper_mapping_suite(torus, adversarial_steps=3000)
+        first = paper_mapping_suite(torus, adversarial_steps=3000)
+        assert [n.distance for n in again] == [n.distance for n in first]
+
+
+class TestOtherShapes:
+    def test_small_torus_suite_still_valid(self):
+        torus = Torus(radix=4, dimensions=2)
+        suite = paper_mapping_suite(torus, adversarial_steps=1000)
+        assert suite[0].distance == pytest.approx(1.0)
+        assert suite[-1].distance > 1.5
+
+    def test_non_power_of_two_radix_omits_bit_reverse(self):
+        torus = Torus(radix=5, dimensions=2)
+        suite = paper_mapping_suite(torus, adversarial_steps=500)
+        assert all(named.name != "bit-reverse" for named in suite)
+        assert suite[0].distance == pytest.approx(1.0)

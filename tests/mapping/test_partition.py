@@ -1,0 +1,61 @@
+"""Tests for recursive-bisection placement."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.evaluate import average_distance
+from repro.mapping.partition import recursive_bisection_mapping
+from repro.mapping.strategies import random_mapping
+from repro.topology.graphs import (
+    nearest_neighbor_grid_graph,
+    ring_graph,
+    torus_neighbor_graph,
+)
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def torus():
+    return Torus(radix=8, dimensions=2)
+
+
+class TestRecursiveBisection:
+    def test_produces_bijection(self, torus):
+        graph = torus_neighbor_graph(8, 2)
+        mapping = recursive_bisection_mapping(graph, torus)
+        assert mapping.is_bijective
+
+    @pytest.mark.parametrize("use_networkx", [True, False])
+    def test_beats_random_on_local_graphs(self, torus, use_networkx):
+        graph = nearest_neighbor_grid_graph(8, 8)
+        mapping = recursive_bisection_mapping(
+            graph, torus, use_networkx=use_networkx
+        )
+        placed = average_distance(graph, mapping, torus)
+        random_avg = sum(
+            average_distance(graph, random_mapping(64, seed=s), torus)
+            for s in range(4)
+        ) / 4
+        assert placed < random_avg
+
+    def test_ring_stays_local(self, torus):
+        graph = ring_graph(64)
+        mapping = recursive_bisection_mapping(graph, torus)
+        assert average_distance(graph, mapping, torus) < 3.0
+
+    def test_greedy_fallback_is_deterministic(self, torus):
+        graph = nearest_neighbor_grid_graph(8, 8)
+        a = recursive_bisection_mapping(graph, torus, use_networkx=False)
+        b = recursive_bisection_mapping(graph, torus, use_networkx=False)
+        assert a == b
+
+    def test_rejects_size_mismatch(self, torus):
+        graph = nearest_neighbor_grid_graph(4, 4)
+        with pytest.raises(MappingError):
+            recursive_bisection_mapping(graph, torus)
+
+    def test_small_machine(self):
+        torus = Torus(radix=2, dimensions=2)
+        graph = ring_graph(4)
+        mapping = recursive_bisection_mapping(graph, torus)
+        assert mapping.is_bijective

@@ -1,0 +1,52 @@
+"""Tests for protocol messages."""
+
+from repro.sim.message import CONTROL_FLITS, DATA_FLITS, Message, MessageKind
+
+
+class TestKinds:
+    def test_data_bearing_kinds(self):
+        assert MessageKind.DATA_REPLY.carries_data
+        assert MessageKind.WRITEBACK.carries_data
+        assert not MessageKind.READ_REQUEST.carries_data
+        assert not MessageKind.INVALIDATE.carries_data
+
+    def test_sizes(self):
+        assert MessageKind.DATA_REPLY.flits == DATA_FLITS
+        assert MessageKind.INVALIDATE_ACK.flits == CONTROL_FLITS
+
+    def test_synthetic_application_average_is_twelve_flits(self):
+        # Steady-state iteration traffic: 4 read requests + 4 data
+        # replies + 4 invalidates + 4 acks -> mean 12 flits, the paper's B.
+        kinds = (
+            [MessageKind.READ_REQUEST] * 4
+            + [MessageKind.DATA_REPLY] * 4
+            + [MessageKind.INVALIDATE] * 4
+            + [MessageKind.INVALIDATE_ACK] * 4
+        )
+        mean = sum(k.flits for k in kinds) / len(kinds)
+        assert mean == 12.0
+
+
+class TestMessage:
+    def test_unique_uids(self):
+        a = Message(MessageKind.FETCH, 0, 1, (0, 0), 7)
+        b = Message(MessageKind.FETCH, 0, 1, (0, 0), 7)
+        assert a.uid != b.uid
+
+    def test_latency_requires_both_stamps(self):
+        message = Message(MessageKind.FETCH, 0, 1, (0, 0), 7)
+        assert message.latency is None
+        message.injected_at = 10
+        assert message.latency is None
+        message.delivered_at = 35
+        assert message.latency == 25
+
+    def test_flits_delegate_to_kind(self):
+        message = Message(MessageKind.DATA_REPLY, 0, 1, (0, 0), 7)
+        assert message.flits == DATA_FLITS
+
+    def test_repr_is_compact(self):
+        message = Message(MessageKind.INVALIDATE, 2, 5, (0, 3), 9)
+        text = repr(message)
+        assert "invalidate" in text
+        assert "2->5" in text

@@ -1,0 +1,115 @@
+"""Tests for the tracing and sampling subsystem."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.mapping.strategies import identity_mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.sim.trace import Tracer
+from repro.topology.graphs import torus_neighbor_graph
+from repro.workload.synthetic import build_programs
+
+
+def traced_machine(tracer, measure=2000):
+    config = SimulationConfig(
+        radix=4, dimensions=2, contexts=1,
+        warmup_network_cycles=400, measure_network_cycles=measure,
+    )
+    graph = torus_neighbor_graph(4, 2)
+    programs = build_programs(graph, 1, config.compute_cycles, 0.5)
+    machine = Machine(config, identity_mapping(16), programs)
+    machine.attach_tracer(tracer)
+    machine.run()
+    return machine
+
+
+class TestConstruction:
+    def test_rejects_unknown_kinds(self):
+        with pytest.raises(ParameterError):
+            Tracer(kinds=["message_sent", "quantum_flux"])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            Tracer(capacity=0)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ParameterError):
+            Tracer(sample_interval=-1)
+
+
+class TestEventCapture:
+    def test_captures_protocol_events(self):
+        tracer = Tracer()
+        traced_machine(tracer)
+        counts = tracer.count_by_kind()
+        assert counts.get("message_sent", 0) > 0
+        assert counts.get("message_delivered", 0) > 0
+        assert counts.get("transaction_started", 0) > 0
+        assert counts.get("transaction_completed", 0) > 0
+
+    def test_kind_filter_applies_at_capture(self):
+        tracer = Tracer(kinds=["message_sent"])
+        traced_machine(tracer)
+        assert set(tracer.count_by_kind()) == {"message_sent"}
+
+    def test_events_carry_details(self):
+        tracer = Tracer(kinds=["message_delivered"])
+        traced_machine(tracer)
+        event = tracer.events_of("message_delivered")[0]
+        assert event.detail["latency"] > 0
+        assert event.detail["hops"] >= 1
+
+    def test_events_include_warmup(self):
+        tracer = Tracer(kinds=["transaction_started"])
+        traced_machine(tracer)
+        # Warmup is 400 cycles; trace starts at cycle 0.
+        assert any(e.cycle < 400 for e in tracer.events)
+
+    def test_node_and_window_queries(self):
+        tracer = Tracer(kinds=["message_sent"])
+        traced_machine(tracer)
+        assert tracer.events_at_node(0)
+        window = tracer.between(0, 400)
+        assert all(0 <= e.cycle < 400 for e in window)
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(kinds=["message_sent"], capacity=50)
+        traced_machine(tracer)
+        assert len(tracer.events) == 50
+        assert tracer.dropped_events > 0
+
+
+class TestSampling:
+    def test_periodic_samples(self):
+        tracer = Tracer(kinds=[], sample_interval=100)
+        machine = traced_machine(tracer, measure=1600)
+        # 2000 total cycles / 100 = 20 samples.
+        assert len(tracer.samples) == 20
+        cycles = [s.cycle for s in tracer.samples]
+        assert cycles == sorted(cycles)
+
+    def test_samples_track_cumulative_counters(self):
+        tracer = Tracer(kinds=[], sample_interval=200)
+        traced_machine(tracer)
+        completed = [s.transactions_completed for s in tracer.samples]
+        assert completed[-1] >= completed[0]
+
+    def test_sampling_disabled_by_default(self):
+        tracer = Tracer(kinds=[])
+        traced_machine(tracer)
+        assert tracer.samples == []
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(kinds=["message_sent"], capacity=100)
+        traced_machine(tracer)
+        path = tracer.to_jsonl(str(tmp_path / "trace.jsonl"))
+        lines = open(path).read().splitlines()
+        assert len(lines) == len(tracer.events)
+        first = json.loads(lines[0])
+        assert first["kind"] == "message_sent"
+        assert "cycle" in first

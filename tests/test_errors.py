@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_library_errors_derive_from_repro_error(self):
+        for name in (
+            "ParameterError",
+            "SaturationError",
+            "ConvergenceError",
+            "TopologyError",
+            "MappingError",
+            "SimulationError",
+            "ProtocolError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_value_style_errors_are_value_errors(self):
+        # Callers catching ValueError for bad inputs should still work.
+        assert issubclass(errors.ParameterError, ValueError)
+        assert issubclass(errors.TopologyError, ValueError)
+        assert issubclass(errors.MappingError, ValueError)
+
+    def test_protocol_error_is_simulation_error(self):
+        assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+    def test_convergence_error_carries_residual(self):
+        err = errors.ConvergenceError("did not converge", residual=0.125)
+        assert err.residual == 0.125
+
+    def test_convergence_error_default_residual_is_nan(self):
+        err = errors.ConvergenceError("no residual")
+        assert err.residual != err.residual  # NaN
+
+    def test_errors_are_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SaturationError("network full")

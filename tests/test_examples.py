@@ -1,0 +1,60 @@
+"""The example scripts must actually run.
+
+The analytic examples execute here end-to-end (seconds each); the
+simulation-heavy ones are exercised through their underlying APIs in the
+sim/experiment test suites and only checked for compilability here, to
+keep the default test run fast.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "locality_gain_study.py",
+    "latency_tolerance_study.py",
+]
+
+SLOW_EXAMPLES = [
+    "simulator_validation.py",
+    "mapping_explorer.py",
+    "hotspot_contention_study.py",
+    "network_traffic_atlas.py",
+]
+
+
+class TestExampleScripts:
+    def test_inventory_is_complete(self):
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_fast_examples_run_clean(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES + SLOW_EXAMPLES)
+    def test_every_example_compiles(self, script, tmp_path):
+        py_compile.compile(
+            str(EXAMPLES / script),
+            cfile=str(tmp_path / (script + "c")),
+            doraise=True,
+        )
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES + SLOW_EXAMPLES)
+    def test_every_example_has_a_docstring_header(self, script):
+        source = (EXAMPLES / script).read_text()
+        assert source.startswith("#!/usr/bin/env python3")
+        assert '"""' in source.split("\n", 2)[1]

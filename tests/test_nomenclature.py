@@ -1,0 +1,46 @@
+"""Tests that the Appendix A nomenclature table matches the real API."""
+
+import importlib
+
+from repro.nomenclature import SYMBOLS, describe
+
+
+def _resolve(dotted: str):
+    """Resolve ``pkg.mod.Class.attr`` to the attribute object or name."""
+    parts = dotted.split(".")
+    # Find the longest importable module prefix.
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            if isinstance(obj, type):
+                # Dataclass fields or properties on a class.
+                if attr in getattr(obj, "__dataclass_fields__", {}):
+                    return attr
+                obj = getattr(obj, attr)
+            else:
+                obj = getattr(obj, attr)
+        return obj
+    raise ImportError(f"cannot import any prefix of {dotted}")
+
+
+class TestNomenclature:
+    def test_every_symbol_resolves(self):
+        for symbol in SYMBOLS:
+            _resolve(symbol.api)  # raises on a dangling reference
+
+    def test_covers_the_appendix(self):
+        names = {s.symbol for s in SYMBOLS}
+        for required in (
+            "n", "k", "N", "T_r", "s", "d", "p", "T_s", "c", "g",
+            "T_f", "T_t", "t_t", "r_t", "T_m", "t_m", "r_m", "B",
+            "k_d", "rho", "T_h",
+        ):
+            assert required in names
+
+    def test_describe_renders(self):
+        text = describe()
+        assert "Appendix A" in text
+        assert "latency sensitivity" in text

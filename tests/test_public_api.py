@@ -1,0 +1,62 @@
+"""Public-API hygiene: everything exported exists and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.topology",
+    "repro.mapping",
+    "repro.sim",
+    "repro.workload",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.units",
+    "repro.errors",
+    "repro.nomenclature",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestPublicSurface:
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_exported_callables_are_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert undocumented == []
+
+
+class TestTopLevelConvenience:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_alewife_factory_lazy_import(self):
+        import repro
+
+        system = repro.alewife_system(contexts=2)
+        assert system.latency_sensitivity == pytest.approx(3.26)
+
+    def test_star_import_is_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)  # noqa: S102 - test only
+        assert "SystemModel" in namespace
+        assert "solve" in namespace

@@ -1,0 +1,92 @@
+"""Tests for communication graphs."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graphs import (
+    CommunicationGraph,
+    all_to_all_graph,
+    nearest_neighbor_grid_graph,
+    ring_graph,
+    torus_neighbor_graph,
+)
+
+
+class TestCommunicationGraph:
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(TopologyError):
+            CommunicationGraph(threads=4, weights={(0, 4): 1.0})
+
+    def test_rejects_self_edges(self):
+        with pytest.raises(TopologyError):
+            CommunicationGraph(threads=4, weights={(2, 2): 1.0})
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(TopologyError):
+            CommunicationGraph(threads=4, weights={(0, 1): 0.0})
+
+    def test_from_edges_accumulates_duplicates(self):
+        graph = CommunicationGraph.from_edges(4, [(0, 1), (0, 1), (1, 2)])
+        assert graph.weights[(0, 1)] == pytest.approx(2.0)
+        assert graph.total_weight == pytest.approx(3.0)
+
+    def test_out_neighbors(self):
+        graph = CommunicationGraph.from_edges(4, [(0, 1), (0, 2), (3, 0)])
+        assert dict(graph.out_neighbors(0)) == {1: 1.0, 2: 1.0}
+        assert graph.degree_out(0) == 2
+        assert graph.degree_out(1) == 0
+
+    def test_out_neighbors_rejects_bad_thread(self):
+        graph = CommunicationGraph.from_edges(4, [(0, 1)])
+        with pytest.raises(TopologyError):
+            list(graph.out_neighbors(7))
+
+
+class TestTorusNeighborGraph:
+    def test_paper_application_shape(self):
+        # 64 threads, each reading 4 neighbors: 256 directed edges.
+        graph = torus_neighbor_graph(8, 2)
+        assert graph.threads == 64
+        assert len(graph.weights) == 256
+
+    def test_every_thread_has_degree_2n(self):
+        graph = torus_neighbor_graph(8, 2)
+        assert all(graph.degree_out(t) == 4 for t in range(64))
+
+    def test_edges_are_symmetric(self):
+        graph = torus_neighbor_graph(4, 2)
+        for (src, dst) in graph.weights:
+            assert (dst, src) in graph.weights
+
+    def test_one_dimensional_case_is_a_ring(self):
+        graph = torus_neighbor_graph(6, 1)
+        ring = ring_graph(6)
+        assert set(graph.weights) == set(ring.weights)
+
+
+class TestOtherGraphs:
+    def test_ring_edge_count(self):
+        assert len(ring_graph(8).weights) == 16
+        assert len(ring_graph(8, bidirectional=False).weights) == 8
+
+    def test_ring_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            ring_graph(1)
+
+    def test_all_to_all_has_no_locality_structure(self):
+        graph = all_to_all_graph(5)
+        assert len(graph.weights) == 20
+        assert all(w == 1.0 for w in graph.weights.values())
+
+    def test_grid_has_no_wraparound(self):
+        graph = nearest_neighbor_grid_graph(3, 3)
+        # Corner thread 0 talks to exactly right (1) and down (3).
+        assert dict(graph.out_neighbors(0)) == {1: 1.0, 3: 1.0}
+
+    def test_grid_edge_count(self):
+        # 3x3 grid: 12 undirected adjacencies -> 24 directed edges.
+        assert len(nearest_neighbor_grid_graph(3, 3).weights) == 24
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            nearest_neighbor_grid_graph(0, 3)

@@ -1,0 +1,100 @@
+"""Tests for the additional communication graphs."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.mapping.evaluate import average_distance
+from repro.mapping.partition import recursive_bisection_mapping
+from repro.mapping.strategies import identity_mapping, random_mapping
+from repro.topology.graphs import (
+    butterfly_exchange_graph,
+    nine_point_stencil_graph,
+    star_graph,
+)
+from repro.topology.torus import Torus
+
+
+class TestButterflyExchange:
+    def test_degree_is_log2(self):
+        graph = butterfly_exchange_graph(64)
+        assert all(graph.degree_out(t) == 6 for t in range(64))
+
+    def test_edges_are_bit_flips(self):
+        graph = butterfly_exchange_graph(16)
+        for (src, dst) in graph.weights:
+            xor = src ^ dst
+            assert xor and (xor & (xor - 1)) == 0  # single bit set
+
+    def test_symmetric(self):
+        graph = butterfly_exchange_graph(16)
+        for (src, dst) in graph.weights:
+            assert (dst, src) in graph.weights
+
+    @pytest.mark.parametrize("bad", [0, 1, 12, 100])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(TopologyError):
+            butterfly_exchange_graph(bad)
+
+    def test_fft_pattern_has_limited_embeddability(self):
+        # A hypercube pattern cannot embed at distance ~1 in a 2-D torus:
+        # even a locality-aware placement stays well above one hop,
+        # unlike the stencils.
+        torus = Torus(radix=8, dimensions=2)
+        graph = butterfly_exchange_graph(64)
+        placed = recursive_bisection_mapping(graph, torus)
+        placed_distance = average_distance(graph, placed, torus)
+        assert placed_distance > 1.5
+        # ...but structure still beats random placement.
+        random_distance = average_distance(
+            graph, random_mapping(64, seed=1), torus
+        )
+        assert placed_distance < random_distance
+
+
+class TestStar:
+    def test_center_degree(self):
+        graph = star_graph(16, center=3)
+        assert graph.degree_out(3) == 15
+        assert graph.degree_out(0) == 1
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(TopologyError):
+            star_graph(8, center=8)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            star_graph(1)
+
+    def test_average_distance_dominated_by_center_placement(self):
+        torus = Torus(radix=4, dimensions=2)
+        graph = star_graph(16, center=0)
+        distance = average_distance(graph, identity_mapping(16), torus)
+        # Mean torus distance from node 0 to everyone else (= 32/15).
+        expected = sum(torus.distance(0, n) for n in range(1, 16)) / 15
+        assert distance == pytest.approx(expected)
+
+
+class TestNinePointStencil:
+    def test_interior_degree_is_eight(self):
+        graph = nine_point_stencil_graph(4, 4)
+        assert graph.degree_out(5) == 8
+
+    def test_corner_degree_is_three(self):
+        graph = nine_point_stencil_graph(4, 4)
+        assert graph.degree_out(0) == 3
+
+    def test_symmetric(self):
+        graph = nine_point_stencil_graph(3, 5)
+        for (src, dst) in graph.weights:
+            assert (dst, src) in graph.weights
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            nine_point_stencil_graph(0, 4)
+
+    def test_row_major_placement_is_decent(self):
+        # Diagonal edges cost two torus hops; straight edges one.
+        torus = Torus(radix=4, dimensions=2)
+        graph = nine_point_stencil_graph(4, 4)
+        distance = average_distance(graph, identity_mapping(16), torus)
+        assert 1.0 < distance < 1.6

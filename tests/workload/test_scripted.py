@@ -1,0 +1,72 @@
+"""Tests for scripted replay programs."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workload.scripted import ScriptedProgram
+
+
+class TestReplay:
+    def test_cyclic_replay(self):
+        script = [((0, 1), False), ((0, 0), True)]
+        program = ScriptedProgram(accesses=script, cyclic=True)
+        rng = random.Random(0)
+        played = [program.next_access(rng) for _ in range(5)]
+        assert played == script + script + script[:1]
+        assert not program.finished
+
+    def test_single_shot_exhausts(self):
+        program = ScriptedProgram.single((0, 3), is_write=True)
+        rng = random.Random(0)
+        assert program.next_access(rng) == ((0, 3), True)
+        assert program.finished
+        # Exhausted scripts spin on long compute and re-touch block 0.
+        assert program.compute_cycles(rng) > 10000
+        assert program.next_access(rng) == ((0, 3), False)
+
+    def test_gap_cycles_fixed(self):
+        program = ScriptedProgram(accesses=[((0, 0), True)], gap_cycles=7)
+        assert program.compute_cycles(random.Random(0)) == 7
+
+    @pytest.mark.parametrize("kwargs", [
+        {"accesses": []},
+        {"accesses": [((0, 0), True)], "gap_cycles": 0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            ScriptedProgram(**kwargs)
+
+
+class TestRandomScript:
+    def test_deterministic(self):
+        a = ScriptedProgram.random_script(0, 3, 16, length=20, seed=5)
+        b = ScriptedProgram.random_script(0, 3, 16, length=20, seed=5)
+        assert list(a.accesses) == list(b.accesses)
+
+    def test_reads_avoid_own_block(self):
+        program = ScriptedProgram.random_script(
+            0, 3, 16, length=100, seed=5, write_fraction=0.0
+        )
+        assert all(block[1] != 3 for block, _ in program.accesses)
+
+    def test_owner_writes_by_default(self):
+        program = ScriptedProgram.random_script(
+            0, 3, 16, length=100, seed=5, write_fraction=1.0
+        )
+        assert all(block == (0, 3) for block, is_write in program.accesses)
+
+    def test_remote_writes_spread(self):
+        program = ScriptedProgram.random_script(
+            0, 3, 16, length=200, seed=5, write_fraction=1.0,
+            remote_writes=True,
+        )
+        owners = {block[1] for block, _ in program.accesses}
+        assert len(owners) > 5
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ParameterError):
+            ScriptedProgram.random_script(
+                0, 3, 16, length=10, seed=5, write_fraction=1.5
+            )
