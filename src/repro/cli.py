@@ -4,9 +4,14 @@ Subcommands:
 
 * ``list`` — show the reproducible experiments;
 * ``run <id> [--quick]`` — run one experiment and print its report;
-* ``all [--quick]`` — run every experiment;
+* ``run --all [--jobs N]`` — run every experiment, optionally across a
+  process pool (reports are identical to a serial run);
+* ``all [--quick] [--jobs N]`` — same as ``run --all``;
 * ``gain --processors N [--contexts P] [--slowdown F]`` — one-off
   expected-gain query against the calibrated Alewife system.
+
+``--verbose`` on ``run``/``all`` appends per-experiment solver counters
+and wall time after each report.
 """
 
 from __future__ import annotations
@@ -36,14 +41,34 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list reproducible experiments")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser.add_argument(
+        "experiment", nargs="?", choices=experiment_ids(),
+        help="experiment id (omit with --all)",
+    )
+    run_parser.add_argument(
+        "--all", action="store_true", dest="run_all",
+        help="run every registered experiment",
+    )
     run_parser.add_argument(
         "--quick", action="store_true",
         help="shorter simulation windows / coarser sweeps",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for --all (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print per-experiment perf counters and wall time",
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true")
+    all_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1, serial)",
+    )
+    all_parser.add_argument("--verbose", action="store_true")
 
     gain_parser = subparsers.add_parser(
         "gain", help="expected locality gain for one machine configuration"
@@ -79,16 +104,23 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(identifier: str, quick: bool) -> int:
+def _command_run(identifier: str, quick: bool, verbose: bool = False) -> int:
     result = run_experiment(identifier, quick=quick)
     print(result.render())
+    if verbose:
+        print()
+        print(result.render_perf())
     return 0
 
 
-def _command_all(quick: bool) -> int:
-    for result in run_all(quick=quick):
+def _command_all(quick: bool, jobs: int = 1, verbose: bool = False) -> int:
+    results = run_all(quick=quick, jobs=jobs)
+    for result in results:
         print(result.render())
         print()
+    if verbose:
+        for result in results:
+            print(result.render_perf())
     return 0
 
 
@@ -114,13 +146,18 @@ def _command_report(output: str, full: bool) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.quick)
+        if args.run_all:
+            return _command_all(args.quick, jobs=args.jobs, verbose=args.verbose)
+        if args.experiment is None:
+            parser.error("run requires an experiment id or --all")
+        return _command_run(args.experiment, args.quick, verbose=args.verbose)
     if args.command == "all":
-        return _command_all(args.quick)
+        return _command_all(args.quick, jobs=args.jobs, verbose=args.verbose)
     if args.command == "gain":
         return _command_gain(args.processors, args.contexts, args.slowdown)
     if args.command == "report":

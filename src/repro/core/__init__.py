@@ -10,9 +10,13 @@ convenient all-in-one entry point.
 from repro.core.application import ApplicationModel
 from repro.core.breakdown import IssueTimeBreakdown, decompose
 from repro.core.combined import (
+    BatchOperatingPoints,
     OperatingPoint,
+    clear_solve_cache,
     open_loop,
     solve,
+    solve_batch,
+    solve_cached,
     solve_quadratic,
     solve_with_floor,
 )
@@ -27,6 +31,7 @@ from repro.core.metrics import (
     GainResult,
     aggregate_performance,
     expected_gain,
+    expected_gain_batch,
     expected_gain_for_radix,
     performance_ratio,
     useful_work_rate,
@@ -57,8 +62,12 @@ __all__ = [
     "SharedBusModel",
     "NodeModel",
     "OperatingPoint",
+    "BatchOperatingPoints",
     "SystemModel",
     "solve",
+    "solve_batch",
+    "solve_cached",
+    "clear_solve_cache",
     "solve_quadratic",
     "solve_with_floor",
     "open_loop",
@@ -66,6 +75,7 @@ __all__ = [
     "IssueTimeBreakdown",
     "GainResult",
     "expected_gain",
+    "expected_gain_batch",
     "expected_gain_for_radix",
     "performance_ratio",
     "aggregate_performance",

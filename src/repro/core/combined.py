@@ -30,9 +30,13 @@ conversion helper for the processor time base.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
+import numpy as np
+
+from repro import perf
 from repro.core.network import TorusNetworkModel
 from repro.core.node import NodeModel
 from repro.errors import ConvergenceError, ParameterError, SaturationError
@@ -40,7 +44,11 @@ from repro.units import ClockDomain
 
 __all__ = [
     "OperatingPoint",
+    "BatchOperatingPoints",
     "solve",
+    "solve_batch",
+    "solve_cached",
+    "clear_solve_cache",
     "solve_quadratic",
     "solve_with_floor",
     "open_loop",
@@ -145,6 +153,7 @@ def solve(
     """
     if not distance > 0:
         raise ParameterError(f"distance d must be positive, got {distance!r}")
+    perf.COUNTERS.solve_calls += 1
 
     ceiling = network.max_rate(distance)
 
@@ -202,6 +211,271 @@ def solve(
         f"combined-model bisection failed to converge (bracket [{low}, {high}])",
         residual=_curve_gap(node, network, 0.5 * (low + high), distance),
     )
+
+
+@dataclass(frozen=True)
+class BatchOperatingPoints:
+    """Struct-of-arrays form of many solved operating points.
+
+    Every field is a float64 array of the common broadcast shape passed
+    to :func:`solve_batch`; element ``i`` of every array describes the
+    same operating point.  :meth:`point` materializes one element as a
+    scalar :class:`OperatingPoint`, :meth:`points` all of them.
+    """
+
+    message_rate: np.ndarray
+    message_latency: np.ndarray
+    per_hop_latency: np.ndarray
+    utilization: np.ndarray
+    node_channel_delay: np.ndarray
+    distance: np.ndarray
+    transaction_rate: np.ndarray
+    issue_time: np.ndarray
+    transaction_latency: np.ndarray
+
+    def __len__(self) -> int:
+        return self.message_rate.shape[0]
+
+    def point(self, index: int) -> OperatingPoint:
+        """Element ``index`` as a scalar :class:`OperatingPoint`."""
+        return OperatingPoint(
+            message_rate=float(self.message_rate[index]),
+            message_latency=float(self.message_latency[index]),
+            per_hop_latency=float(self.per_hop_latency[index]),
+            utilization=float(self.utilization[index]),
+            node_channel_delay=float(self.node_channel_delay[index]),
+            distance=float(self.distance[index]),
+            transaction_rate=float(self.transaction_rate[index]),
+            issue_time=float(self.issue_time[index]),
+            transaction_latency=float(self.transaction_latency[index]),
+        )
+
+    def points(self) -> List[OperatingPoint]:
+        """All elements as scalar :class:`OperatingPoint` records."""
+        return [self.point(i) for i in range(len(self))]
+
+
+def solve_batch(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    distances,
+    sensitivity=None,
+    intercept=None,
+) -> BatchOperatingPoints:
+    """Vectorized :func:`solve` over arrays of model parameters.
+
+    ``distances`` — and optionally per-lane overrides of the node curve's
+    ``sensitivity`` and ``intercept`` (defaulting to ``node``'s scalars)
+    — broadcast to a common 1-D shape; every lane is solved with the same
+    safeguarded bisection as the scalar path, executed simultaneously on
+    numpy arrays.  Lane ``i``'s bracket updates replicate the scalar
+    solver's exactly (converged lanes freeze while the rest keep
+    bisecting), so results agree with :func:`solve` to full precision —
+    the property the parity tests in ``tests/properties`` pin down.
+
+    Raises the same errors as the scalar path (:class:`ParameterError`
+    for non-positive distances, :class:`SaturationError` when any lane
+    has no interior fixed point), identifying the first offending lane.
+
+    Only direct torus networks are supported; pass an
+    :class:`~repro.core.indirect.IndirectNetworkModel` to the scalar
+    solver instead.
+    """
+    if not isinstance(network, TorusNetworkModel):
+        raise ParameterError(
+            "solve_batch supports TorusNetworkModel only; use solve() for "
+            f"{type(network).__name__}"
+        )
+    d = np.atleast_1d(np.asarray(distances, dtype=float))
+    s = np.asarray(
+        node.sensitivity if sensitivity is None else sensitivity, dtype=float
+    )
+    intercept_arr = np.asarray(
+        node.intercept if intercept is None else intercept, dtype=float
+    )
+    d, s, intercept_arr = np.broadcast_arrays(d, s, intercept_arr)
+    d = np.ascontiguousarray(d)
+    s = np.ascontiguousarray(s)
+    intercept_arr = np.ascontiguousarray(intercept_arr)
+    if d.ndim != 1:
+        raise ParameterError(
+            f"solve_batch expects 1-D parameter arrays, got shape {d.shape}"
+        )
+    if d.size and not (d > 0).all():
+        bad = float(d[np.argmin(d > 0)])
+        raise ParameterError(f"distance d must be positive, got {bad!r}")
+    if s.size and not (s > 0).all():
+        bad = float(s[np.argmin(s > 0)])
+        raise ParameterError(
+            f"latency sensitivity s must be positive, got {bad!r}"
+        )
+
+    perf.COUNTERS.batch_solves += 1
+    perf.COUNTERS.batch_points += d.size
+    if d.size == 0:
+        empty = np.empty(0, dtype=float)
+        return BatchOperatingPoints(*([empty] * 9))
+
+    dims = network.dimensions
+    size = network.message_size
+    ncc = network.node_channel_contention
+    second_moment = network._size_second_moment
+
+    k_d = d / dims
+    geometry = np.where(
+        k_d > 1.0,
+        ((k_d - 1.0) / k_d**2) * ((dims + 1) / dims),
+        0.0,
+    )
+    saturation = 2.0 / (size * k_d)
+    ceiling = np.minimum(saturation, 1.0 / size) if ncc else saturation
+
+    # Algebraically regrouped network curve, hoisting every rate-free
+    # factor out of the bisection loop:
+    #   T_m(r) = (d + B) + c1 * rho/(1 - rho) + r*E[S^2]/(1 - r*B)
+    # with rho = r * rho_slope and c1 = d * B * geometry (zero wherever
+    # the local clamp applies, which also zeroes the contention term).
+    rho_slope = size * k_d / 2.0
+    contention_scale = d * size * geometry
+    node_minus_network_const = intercept_arr + d + size
+
+    def curve_gap(rate_arr: np.ndarray) -> np.ndarray:
+        """Node-curve minus network-curve latency (requires rho < 1)."""
+        rho = rate_arr * rho_slope
+        gap = (
+            s / rate_arr
+            - node_minus_network_const
+            - contention_scale * (rho / (1.0 - rho))
+        )
+        if ncc:
+            gap -= rate_arr * second_moment / (1.0 - rate_arr * size)
+        return gap
+
+    rate = np.empty_like(d)
+
+    # Fast path (mirrors the scalar solver): no contention terms at all,
+    # so the network latency is the constant d + B and the intersection
+    # is linear in r_m.
+    linear = (geometry == 0.0) & (not ncc)
+    if linear.any():
+        lin_rate = s / (intercept_arr + (d + size))
+        over = linear & (lin_rate >= saturation)
+        if over.any():
+            i = int(np.argmax(over))
+            raise SaturationError(
+                "clamped model predicts injection beyond channel capacity "
+                f"(r_m = {lin_rate[i]:.6g} >= {saturation[i]:.6g}); "
+                "the k_d < 1 clamp is not meaningful at this load"
+            )
+        rate[linear] = lin_rate[linear]
+
+    bisect = ~linear
+    if bisect.any():
+        low = np.minimum(1e-12, ceiling * 1e-9)
+        high = ceiling * (1.0 - 1e-9)
+        gap_low = curve_gap(low)
+        gap_high = curve_gap(high)
+        bad_low = bisect & (gap_low < 0)
+        if bad_low.any():
+            i = int(np.argmax(bad_low))
+            raise SaturationError(
+                f"no feasible operating point: node curve below network "
+                f"curve at r_m = {low[i]:.3g} (gap {gap_low[i]:.3g})"
+            )
+        bad_high = bisect & (gap_high > 0)
+        if bad_high.any():
+            i = int(np.argmax(bad_high))
+            raise SaturationError(
+                "operating point lies beyond network saturation "
+                f"(gap at ceiling = {gap_high[i]:.3g}); reduce load or "
+                "enable the contention terms"
+            )
+
+        # The scalar solver stops each lane once its bracket's relative
+        # width reaches the tolerance; since the width halves per
+        # iteration from ~the full bracket, no lane can converge before
+        # ~ -log2(tolerance) iterations — the check is provably False
+        # until then and is skipped for speed.
+        earliest = max(0, int(-np.log2(_RELATIVE_TOLERANCE)) - 1)
+        update = np.empty_like(d)
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            mid = 0.5 * (low + high)
+            above = curve_gap(mid) > 0.0
+            np.copyto(low, mid, where=above)
+            np.copyto(high, mid, where=~above)
+            if iteration >= earliest:
+                np.subtract(high, low, out=update)
+                if (update <= _RELATIVE_TOLERANCE * high).all():
+                    break
+        else:
+            wide = (high - low) > _RELATIVE_TOLERANCE * high
+            i = int(np.argmax(wide & bisect))
+            raise ConvergenceError(
+                "combined-model bisection failed to converge "
+                f"(bracket [{low[i]}, {high[i]}])",
+                residual=float(curve_gap(0.5 * (low + high))[i]),
+            )
+        midpoint = 0.5 * (low + high)
+        rate[bisect] = midpoint[bisect]
+
+    # Populate every OperatingPoint field at the solved rates.
+    rho = rate * size * k_d / 2.0
+    per_hop = np.where(
+        geometry == 0.0, 1.0, 1.0 + (rho * size / (1.0 - rho)) * geometry
+    )
+    if ncc:
+        rho_c = rate * size
+        channel_delay = 2.0 * (
+            rate * second_moment / (2.0 * (1.0 - rho_c))
+        )
+    else:
+        channel_delay = np.zeros_like(rate)
+    message_time = 1.0 / rate
+    g = node.messages_per_transaction
+    return BatchOperatingPoints(
+        message_rate=rate,
+        message_latency=d * per_hop + size + channel_delay,
+        per_hop_latency=per_hop,
+        utilization=rho,
+        node_channel_delay=channel_delay,
+        distance=d,
+        transaction_rate=rate / g,
+        issue_time=g * message_time,
+        transaction_latency=s * message_time - intercept_arr,
+    )
+
+
+@functools.lru_cache(maxsize=16384)
+def _solve_lru(
+    node: NodeModel, network: TorusNetworkModel, distance: float
+) -> OperatingPoint:
+    return solve(node, network, distance)
+
+
+def solve_cached(
+    node: NodeModel, network: TorusNetworkModel, distance: float
+) -> OperatingPoint:
+    """Memoized :func:`solve` keyed by the (frozen) model parameters.
+
+    Repeated queries at identical ``(node, network, distance)`` — e.g.
+    the ideal-mapping point shared by every machine size of a gain curve,
+    or ``expected_gain`` re-asked at a landmark size — return the cached
+    :class:`OperatingPoint` without re-running the bisection.  Both model
+    dataclasses are frozen and hashable, so the key is exact; errors are
+    not cached (a failing configuration re-raises on every call).
+    """
+    info = _solve_lru.cache_info()
+    point = _solve_lru(node, network, distance)
+    if _solve_lru.cache_info().hits > info.hits:
+        perf.COUNTERS.cache_hits += 1
+    else:
+        perf.COUNTERS.cache_misses += 1
+    return point
+
+
+def clear_solve_cache() -> None:
+    """Drop all memoized operating points (test isolation)."""
+    _solve_lru.cache_clear()
 
 
 def solve_quadratic(

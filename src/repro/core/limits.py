@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.combined import OperatingPoint, solve
+from repro.core.combined import OperatingPoint, solve, solve_batch
 from repro.core.network import TorusNetworkModel
 from repro.core.node import NodeModel
 from repro.errors import ParameterError
@@ -97,16 +97,18 @@ def per_hop_curve(
     the continuous radix ``N**(1/n)``; the combined model is solved there
     and the per-hop latency read off the operating point.
     """
-    samples = []
-    for processors in sizes:
-        distance = random_traffic_distance_for_size(
-            processors, network.dimensions
-        )
-        point = solve(node, network, distance)
-        samples.append(
-            PerHopSample(processors=float(processors), distance=distance, point=point)
-        )
-    return samples
+    size_values = [float(n) for n in sizes]
+    distances = [
+        random_traffic_distance_for_size(n, network.dimensions)
+        for n in size_values
+    ]
+    if not distances:
+        return []
+    batch = solve_batch(node, network, distances)
+    return [
+        PerHopSample(processors=n, distance=d, point=batch.point(i))
+        for i, (n, d) in enumerate(zip(size_values, distances))
+    ]
 
 
 def size_to_reach_fraction(

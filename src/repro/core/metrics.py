@@ -17,8 +17,15 @@ and machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
-from repro.core.combined import OperatingPoint, solve
+import numpy as np
+
+from repro.core.combined import (
+    OperatingPoint,
+    solve_batch,
+    solve_cached,
+)
 from repro.core.network import TorusNetworkModel
 from repro.core.node import NodeModel
 from repro.errors import ParameterError
@@ -33,6 +40,7 @@ __all__ = [
     "performance_ratio",
     "GainResult",
     "expected_gain",
+    "expected_gain_batch",
     "expected_gain_for_radix",
 ]
 
@@ -111,9 +119,49 @@ def expected_gain(
         processors=processors,
         ideal_distance=ideal_distance,
         random_distance=random_distance,
-        ideal=solve(node, network, ideal_distance),
-        random=solve(node, network, random_distance),
+        ideal=solve_cached(node, network, ideal_distance),
+        random=solve_cached(node, network, random_distance),
     )
+
+
+def expected_gain_batch(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    sizes: Sequence[float],
+    ideal_distance: float = 1.0,
+) -> List[GainResult]:
+    """Expected gain at many machine sizes in one batched solve.
+
+    Semantically identical to calling :func:`expected_gain` per size,
+    but all random-mapping operating points are found by one
+    :func:`~repro.core.combined.solve_batch` call, and the
+    ideal-mapping point — shared by every size — is solved exactly once.
+    """
+    if not ideal_distance > 0:
+        raise ParameterError(
+            f"ideal_distance must be positive, got {ideal_distance!r}"
+        )
+    sizes = [float(n) for n in np.asarray(sizes, dtype=float).ravel()]
+    random_distances = np.array(
+        [
+            random_traffic_distance_for_size(n, network.dimensions)
+            for n in sizes
+        ]
+    )
+    if not random_distances.size:
+        return []
+    randoms = solve_batch(node, network, random_distances)
+    ideal = solve_cached(node, network, ideal_distance)
+    return [
+        GainResult(
+            processors=processors,
+            ideal_distance=ideal_distance,
+            random_distance=float(random_distances[i]),
+            ideal=ideal,
+            random=randoms.point(i),
+        )
+        for i, processors in enumerate(sizes)
+    ]
 
 
 def expected_gain_for_radix(
@@ -129,6 +177,6 @@ def expected_gain_for_radix(
         processors=processors,
         ideal_distance=ideal_distance,
         random_distance=random_distance,
-        ideal=solve(node, network, ideal_distance),
-        random=solve(node, network, random_distance),
+        ideal=solve_cached(node, network, ideal_distance),
+        random=solve_cached(node, network, random_distance),
     )

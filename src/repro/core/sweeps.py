@@ -4,17 +4,27 @@ Each sweep returns a list of small frozen records rather than bare arrays
 so that experiment drivers, benchmarks, and examples can render the same
 results without re-deriving which column is which.  Conversions to numpy
 arrays are provided where plotting-style consumers want columns.
+
+All sweeps route through :func:`repro.core.combined.solve_batch`: the
+full array of operating points is found by one vectorized bisection
+instead of a Python-level loop of scalar solves, which is what makes the
+figure/table reproductions and the campaign layer fast (see
+``docs/performance.md``).  Results are identical to the scalar path to
+solver tolerance (~1e-13 relative), which the parity tests in
+``tests/properties`` enforce.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.combined import OperatingPoint
-from repro.core.metrics import GainResult
+from repro.core.combined import OperatingPoint, solve_batch
+from repro.core.limits import limiting_per_hop_latency
+from repro.core.metrics import GainResult, expected_gain_batch
 from repro.core.system import SystemModel
 
 __all__ = [
@@ -42,9 +52,11 @@ def sweep_distances(
     system: SystemModel, distances: Sequence[float]
 ) -> List[DistanceSample]:
     """Solve the combined model across a range of distances (Figures 4-5)."""
+    values = [float(d) for d in distances]
+    batch = solve_batch(system.node, system.network, values)
     return [
-        DistanceSample(distance=float(d), point=system.operating_point(float(d)))
-        for d in distances
+        DistanceSample(distance=d, point=batch.point(i))
+        for i, d in enumerate(values)
     ]
 
 
@@ -54,6 +66,10 @@ class GainCurve:
 
     label: str
     results: List[GainResult]
+    #: Lazily built size -> gain index for :meth:`gain_at` (not compared).
+    _gain_index: Dict[float, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def sizes(self) -> np.ndarray:
@@ -64,10 +80,22 @@ class GainCurve:
         return np.array([r.gain for r in self.results])
 
     def gain_at(self, processors: float, tolerance: float = 1e-6) -> float:
-        """Gain at an exactly-swept machine size."""
-        for result in self.results:
-            if abs(result.processors - processors) <= tolerance * processors:
-                return result.gain
+        """Gain at an exactly-swept machine size.
+
+        Exact sizes hit a dict built once per curve; sizes within
+        ``tolerance`` (relative) of a swept value fall back to a scan.
+        Raises :class:`KeyError` for sizes that were not swept.
+        """
+        if not self._gain_index:
+            self._gain_index.update(
+                (r.processors, r.gain) for r in self.results
+            )
+        exact = self._gain_index.get(float(processors))
+        if exact is not None:
+            return exact
+        for swept, gain in self._gain_index.items():
+            if abs(swept - processors) <= tolerance * processors:
+                return gain
         raise KeyError(f"machine size {processors!r} was not swept")
 
 
@@ -77,20 +105,70 @@ def gain_curve(
     label: str = "",
     ideal_distance: float = 1.0,
 ) -> GainCurve:
-    """Expected gain vs machine size (the Figure 7 sweep)."""
-    results = [
-        system.expected_gain(float(n), ideal_distance=ideal_distance) for n in sizes
-    ]
+    """Expected gain vs machine size (the Figure 7 sweep).
+
+    All random-mapping points are solved in one batch; the shared
+    ideal-mapping point is solved once.
+    """
+    results = expected_gain_batch(
+        system.node, system.network, sizes, ideal_distance=ideal_distance
+    )
     return GainCurve(label=label, results=results)
+
+
+class _FrozenGains(Mapping):
+    """Immutable, hashable float -> float mapping for frozen samples."""
+
+    __slots__ = ("_data", "_items")
+
+    def __init__(self, data: Mapping):
+        self._data = MappingProxyType(
+            {float(k): float(v) for k, v in dict(data).items()}
+        )
+        self._items: Tuple[Tuple[float, float], ...] = tuple(
+            sorted(self._data.items())
+        )
+
+    def __getitem__(self, key: float) -> float:
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _FrozenGains):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._data) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_FrozenGains({dict(self._data)!r})"
 
 
 @dataclass(frozen=True)
 class SlowdownSample:
-    """Expected gains at one relative network speed (one Table 1 row)."""
+    """Expected gains at one relative network speed (one Table 1 row).
+
+    ``gains_by_size`` maps machine size to expected gain; it is stored
+    immutably so the frozen dataclass is actually hashable and frozen.
+    """
 
     slowdown: float
     network_speedup: float
-    gains_by_size: dict
+    gains_by_size: Mapping[float, float]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.gains_by_size, _FrozenGains):
+            object.__setattr__(
+                self, "gains_by_size", _FrozenGains(self.gains_by_size)
+            )
 
 
 def sweep_network_slowdowns(
@@ -103,21 +181,53 @@ def sweep_network_slowdowns(
 
     ``slowdowns`` are factors applied to the system's baseline network
     clock: 1.0 reproduces the base architecture, 2.0 halves the network
-    speed, and so on.
+    speed, and so on.  A slowdown only rescales the node curve's
+    intercept (``T_r`` and ``T_f`` stretch in network cycles), so the
+    whole (slowdown x size) grid — random and ideal lanes — is solved by
+    a single batched bisection.
     """
+    factors = [float(f) for f in slowdowns]
+    size_values = [float(n) for n in sizes]
+    variants = [system.with_network_slowdown(factor) for factor in factors]
+    dims = system.network.dimensions
+
+    from repro.topology.distance import random_traffic_distance_for_size
+
+    random_distances = [
+        random_traffic_distance_for_size(n, dims) for n in size_values
+    ]
+    lane_distances = []
+    lane_intercepts = []
+    for variant in variants:
+        intercept = variant.node.intercept
+        lane_distances.append(float(ideal_distance))
+        lane_intercepts.append(intercept)
+        for distance in random_distances:
+            lane_distances.append(distance)
+            lane_intercepts.append(intercept)
+
+    batch = solve_batch(
+        system.node,
+        system.network,
+        np.array(lane_distances),
+        intercept=np.array(lane_intercepts),
+    )
+
     samples = []
-    for factor in slowdowns:
-        slowed = system.with_network_slowdown(float(factor))
+    stride = 1 + len(size_values)
+    for row, (factor, variant) in enumerate(zip(factors, variants)):
+        base = row * stride
+        ideal_rate = batch.transaction_rate[base]
         gains = {
-            float(n): slowed.expected_gain(
-                float(n), ideal_distance=ideal_distance
-            ).gain
-            for n in sizes
+            size: float(
+                ideal_rate / batch.transaction_rate[base + 1 + column]
+            )
+            for column, size in enumerate(size_values)
         }
         samples.append(
             SlowdownSample(
-                slowdown=float(factor),
-                network_speedup=slowed.clocks.network_speedup,
+                slowdown=factor,
+                network_speedup=variant.clocks.network_speedup,
                 gains_by_size=gains,
             )
         )
@@ -148,20 +258,37 @@ def sweep_contexts(
 
     The latency-tolerance trade in one sweep: throughput rises with
     ``p`` (with diminishing returns once the network binds) while the
-    Eq 16 limiting per-hop latency rises proportionally to ``s``.
+    Eq 16 limiting per-hop latency rises proportionally to ``s``.  Only
+    the node curve's sensitivity varies with ``p``, so all levels solve
+    in one batch.
     """
-    samples = []
-    for p in contexts:
-        variant = system.with_contexts(float(p))
-        samples.append(
-            ContextsSample(
-                contexts=float(p),
-                sensitivity=variant.latency_sensitivity,
-                point=variant.operating_point(distance),
-                limiting_per_hop=variant.limiting_per_hop_latency(),
-            )
+    levels = [float(p) for p in contexts]
+    transaction = system.transaction
+    sensitivities = [
+        p
+        * transaction.messages_per_transaction
+        / transaction.critical_messages
+        for p in levels
+    ]
+    batch = solve_batch(
+        system.node,
+        system.network,
+        float(distance),
+        sensitivity=np.array(sensitivities),
+    )
+    message_size = system.network.message_size
+    dims = system.network.dimensions
+    return [
+        ContextsSample(
+            contexts=p,
+            sensitivity=sensitivity,
+            point=batch.point(i),
+            limiting_per_hop=limiting_per_hop_latency(
+                sensitivity, message_size, dims
+            ),
         )
-    return samples
+        for i, (p, sensitivity) in enumerate(zip(levels, sensitivities))
+    ]
 
 
 def logspace_sizes(

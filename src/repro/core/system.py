@@ -20,7 +20,7 @@ from typing import Sequence
 
 from repro.core.application import ApplicationModel
 from repro.core.breakdown import IssueTimeBreakdown, decompose
-from repro.core.combined import OperatingPoint, solve, solve_with_floor
+from repro.core.combined import OperatingPoint, solve_cached, solve_with_floor
 from repro.core.limits import limiting_per_hop_latency_for, per_hop_curve
 from repro.core.metrics import GainResult, expected_gain
 from repro.core.network import TorusNetworkModel
@@ -82,6 +82,11 @@ class SystemModel:
         With ``respect_issue_floor=True`` the Eq 4 lower bound
         ``t_t >= T_r + T_s`` is enforced (the paper drops it; see
         :func:`repro.core.combined.solve_with_floor`).
+
+        Solutions are memoized on the (node, network, distance) key, so
+        repeated queries against the same system — e.g. the shared
+        ideal-mapping point inside ``expected_gain`` sweeps — cost one
+        solve total.
         """
         if respect_issue_floor:
             floor_network = self.clocks.to_network(
@@ -90,7 +95,7 @@ class SystemModel:
             return solve_with_floor(
                 self.node, self.network, distance, floor_network
             )
-        return solve(self.node, self.network, distance)
+        return solve_cached(self.node, self.network, distance)
 
     def operating_point_random(self, processors: float) -> OperatingPoint:
         """Operating point under a random mapping on an N-node machine."""

@@ -14,9 +14,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.tables import render_table
+from repro.core.combined import solve_batch
 from repro.errors import ParameterError
 from repro.experiments.alewife import alewife_system
+from repro.topology.distance import random_traffic_distance_for_size
 
 __all__ = ["CampaignRecord", "Campaign", "run_campaign"]
 
@@ -139,16 +143,63 @@ def run_campaign(**axes: Iterable) -> Campaign:
             raise ParameterError(f"axis {name!r} has no values")
 
     campaign = Campaign(axes={k: v for k, v in resolved.items() if len(v) > 1 or k in axes})
-    for contexts, processors, slowdown, dimensions, grain_scale in (
+    grid = list(
         itertools.product(*(resolved[name] for name in AXES))
-    ):
+    )
+
+    # The whole grid is solved batched: each grid point contributes an
+    # ideal lane (d = 1) and a random lane (Eq 17 distance for N), with
+    # per-lane sensitivity (contexts) and intercept (slowdown, grain).
+    # The network object only varies with the dimensions axis, so lanes
+    # are grouped per dimensionality and each group solved in one call.
+    groups: Dict[int, Dict[str, list]] = {}
+    points = []
+    for contexts, processors, slowdown, dimensions, grain_scale in grid:
         system = (
             alewife_system(contexts=contexts, dimensions=int(dimensions))
             .with_network_slowdown(float(slowdown))
         )
         if grain_scale != 1.0:
             system = system.with_grain_scaled(float(grain_scale))
-        result = system.expected_gain(float(processors))
+        node = system.node
+        random_distance = random_traffic_distance_for_size(
+            float(processors), system.network.dimensions
+        )
+        group = groups.setdefault(
+            int(dimensions),
+            {
+                "network": system.network,
+                "node": node,
+                "distances": [],
+                "sensitivities": [],
+                "intercepts": [],
+            },
+        )
+        lane = len(group["distances"])
+        group["distances"] += [1.0, random_distance]
+        group["sensitivities"] += [node.sensitivity] * 2
+        group["intercepts"] += [node.intercept] * 2
+        points.append((int(dimensions), lane, random_distance))
+
+    solved = {
+        dims: solve_batch(
+            group["node"],
+            group["network"],
+            group["distances"],
+            sensitivity=np.array(group["sensitivities"]),
+            intercept=np.array(group["intercepts"]),
+        )
+        for dims, group in groups.items()
+    }
+
+    for (contexts, processors, slowdown, dimensions, grain_scale), (
+        dims,
+        lane,
+        random_distance,
+    ) in zip(grid, points):
+        batch = solved[dims]
+        ideal_rate = float(batch.transaction_rate[lane])
+        random_rate = float(batch.transaction_rate[lane + 1])
         campaign.records.append(
             CampaignRecord(
                 contexts=contexts,
@@ -156,10 +207,10 @@ def run_campaign(**axes: Iterable) -> Campaign:
                 slowdown=float(slowdown),
                 dimensions=int(dimensions),
                 grain_scale=float(grain_scale),
-                random_distance=result.random_distance,
-                gain=result.gain,
-                ideal_rate=result.ideal.transaction_rate,
-                random_rate=result.random.transaction_rate,
+                random_distance=random_distance,
+                gain=ideal_rate / random_rate,
+                ideal_rate=ideal_rate,
+                random_rate=random_rate,
             )
         )
     return campaign

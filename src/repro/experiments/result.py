@@ -21,6 +21,10 @@ class ExperimentResult:
     tables: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     data: Dict = field(default_factory=dict)
+    #: Runner-attached diagnostics (solver counters, wall time).  Not
+    #: part of :meth:`render` so reports stay identical regardless of
+    #: how (or how parallel) the experiment ran.
+    perf: Dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable report."""
@@ -30,3 +34,24 @@ class ExperimentResult:
             bullet_lines = "\n".join(f"  - {note}" for note in self.notes)
             parts.append(f"Notes:\n{bullet_lines}")
         return "\n\n".join(parts)
+
+    def render_perf(self) -> str:
+        """One-line diagnostics summary for ``--verbose`` output."""
+        if not self.perf:
+            return f"[perf] {self.experiment}: no counters recorded"
+        pieces = []
+        wall = self.perf.get("wall_seconds")
+        if wall is not None:
+            pieces.append(f"wall {wall:.3f}s")
+        for name in (
+            "solve_calls",
+            "cache_hits",
+            "cache_misses",
+            "batch_solves",
+            "batch_points",
+        ):
+            value = self.perf.get(name)
+            if value:
+                pieces.append(f"{name} {value}")
+        detail = ", ".join(pieces) if pieces else "all counters zero"
+        return f"[perf] {self.experiment}: {detail}"

@@ -4,12 +4,20 @@ Maps experiment identifiers (``figure-3`` .. ``figure-8``, ``table-1``,
 and the ablations) to their drivers.  ``repro-locality run <id>`` and the
 benchmarks both resolve experiments through this registry, so the set of
 reproducible artifacts lives in exactly one place.
+
+``run_all`` can fan experiments out over a process pool
+(``repro-locality run --all --jobs N``).  Each experiment is pure —
+drivers take only the ``quick`` flag and share no mutable state — so
+per-process isolation changes nothing about the results, and the runner
+reassembles them in registry order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List
 
+from repro import perf
 from repro.errors import ParameterError
 from repro.experiments import (
     ablations,
@@ -56,16 +64,47 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id, attaching perf diagnostics to the result."""
     runner = REGISTRY.get(identifier)
     if runner is None:
         known = ", ".join(REGISTRY)
         raise ParameterError(
             f"unknown experiment {identifier!r}; known: {known}"
         )
-    return runner(quick)
+    before = perf.snapshot()
+    started = time.perf_counter()
+    result = runner(quick)
+    elapsed = time.perf_counter() - started
+    result.perf = dict(perf.delta(before), wall_seconds=elapsed)
+    return result
 
 
-def run_all(quick: bool = False) -> List[ExperimentResult]:
-    """Run every registered experiment in order."""
-    return [runner(quick) for runner in REGISTRY.values()]
+def _run_one(arguments) -> ExperimentResult:
+    """Pool worker: run one experiment in a fresh process.
+
+    Module-level so it pickles; takes a single tuple so it maps cleanly.
+    """
+    identifier, quick = arguments
+    return run_experiment(identifier, quick)
+
+
+def run_all(quick: bool = False, jobs: int = 1) -> List[ExperimentResult]:
+    """Run every registered experiment, in registry order.
+
+    With ``jobs > 1`` the experiments run across a
+    ``ProcessPoolExecutor`` of that many workers; results are still
+    returned in registry order, and are identical to a serial run (each
+    driver depends only on its arguments).  Falls back to the serial
+    path when ``jobs <= 1`` or the platform cannot start a pool.
+    """
+    identifiers = experiment_ids()
+    if jobs > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                work = [(identifier, quick) for identifier in identifiers]
+                return list(pool.map(_run_one, work))
+        except (ImportError, NotImplementedError, OSError):
+            pass  # no usable process pool on this platform; run serially
+    return [run_experiment(identifier, quick) for identifier in identifiers]

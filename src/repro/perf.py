@@ -1,0 +1,59 @@
+"""Lightweight global performance counters.
+
+The solver and sweep layers increment these as they work; the experiment
+runner snapshots them around each experiment so the CLI can report, per
+experiment, how many operating-point solves ran, how many were served
+from the memoized cache, and how much work the batched solver absorbed.
+
+Counters are process-global and cheap (plain integer adds on a module
+singleton).  They are diagnostics, not results: experiment outputs never
+depend on them, so parallel runs — where each worker process has its own
+counters — stay byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+__all__ = ["PerfCounters", "COUNTERS", "snapshot", "delta", "reset"]
+
+
+@dataclass
+class PerfCounters:
+    """Process-wide solver/sweep activity counters."""
+
+    #: Scalar combined-model solves (bisection or closed form).
+    solve_calls: int = 0
+    #: ``solve_cached`` lookups answered from the memoized cache.
+    cache_hits: int = 0
+    #: ``solve_cached`` lookups that had to run the solver.
+    cache_misses: int = 0
+    #: Number of ``solve_batch`` invocations.
+    batch_solves: int = 0
+    #: Total operating points produced by ``solve_batch``.
+    batch_points: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The process-global counter instance.
+COUNTERS = PerfCounters()
+
+
+def snapshot() -> Dict[str, int]:
+    """Copy the current counter values."""
+    return COUNTERS.as_dict()
+
+
+def delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Counter increments since ``before`` (a prior :func:`snapshot`)."""
+    now = COUNTERS.as_dict()
+    return {name: now[name] - before.get(name, 0) for name in now}
+
+
+def reset() -> None:
+    """Zero all counters (mainly for tests)."""
+    for f in fields(PerfCounters):
+        setattr(COUNTERS, f.name, 0)

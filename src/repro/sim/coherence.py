@@ -130,12 +130,19 @@ class CoherenceController:
         home_of: Callable[[Block], int],
         send: Callable[[Message], None],
         stats,
+        wake: Optional[Callable[["CoherenceController"], None]] = None,
     ):
         self.node = node
         self.config = config
         self.home_of = home_of
         self._send_to_fabric = send
         self.stats = stats
+        #: Called (with this controller) when work arrives while the
+        #: engine is idle, so a driver that skips idle engines knows to
+        #: tick this one.  ``None`` means the driver ticks every cycle.
+        self._wake = wake
+        self._notified = False
+        self._ticking = False
 
         self.cache: Dict[Block, CacheState] = {}
         self.directory: Dict[Block, _DirectoryEntry] = {}
@@ -153,6 +160,13 @@ class CoherenceController:
         self._next_uid = node  # node-unique spacing avoids global counter
         self._uid_stride = 1 << 20
 
+        # Engine occupancies in network cycles, precomputed (the clock
+        # conversion is pure and these are read on every protocol event).
+        self._request_cost = self._cost(config.request_cycles)
+        self._receive_cost = self._cost(config.receive_cycles)
+        self._send_cost = self._cost(config.send_cycles)
+        self._memory_cost = self._cost(config.memory_cycles)
+
     # ------------------------------------------------------------------
     # Engine: serialized event processing with occupancy.
     # ------------------------------------------------------------------
@@ -162,25 +176,38 @@ class CoherenceController:
 
     def _schedule(self, cost_network: int, thunk: Callable[[int], None]) -> None:
         self._engine_queue.append((cost_network, thunk))
+        # Wake the driver only on an idle-to-busy transition: a waiting
+        # engine is already on the driver's wake calendar, and work
+        # scheduled mid-tick is drained by the tick loop itself.
+        if (
+            self._wake is not None
+            and self._engine_thunk is None
+            and not self._ticking
+            and not self._notified
+        ):
+            self._notified = True
+            self._wake(self)
 
     def tick(self, cycle: int) -> None:
         """Run the protocol engine for one network cycle."""
+        self._ticking = True
         while True:
             if self._engine_thunk is not None:
                 if self._engine_done_at > cycle:
-                    return
+                    break
                 thunk = self._engine_thunk
                 self._engine_thunk = None
                 thunk(self._engine_done_at)
                 continue
             if not self._engine_queue:
-                return
+                break
             cost, thunk = self._engine_queue.popleft()
             if cost == 0:
                 thunk(cycle)
                 continue
             self._engine_done_at = cycle + cost
             self._engine_thunk = thunk
+        self._ticking = False
 
     @property
     def idle(self) -> bool:
@@ -251,7 +278,7 @@ class CoherenceController:
             # race with a remote request observing the popped cache), and
             # charge the memory write as plain occupancy.
             self._home_eviction_writeback(block, self.node, cycle=0)
-            self._schedule(self._cost(self.config.memory_cycles), lambda done: None)
+            self._schedule(self._memory_cost, lambda done: None)
         else:
             self._emit(MessageKind.WRITEBACK, home, block, transaction=-1)
 
@@ -284,7 +311,7 @@ class CoherenceController:
         self._outstanding[block] = record
         self.stats.transaction_started(self.node, cycle)
         self._schedule(
-            self._cost(self.config.request_cycles),
+            self._request_cost,
             lambda done, r=record: self._begin_transaction(r, done),
         )
 
@@ -308,7 +335,7 @@ class CoherenceController:
 
     def deliver(self, message: Message) -> None:
         """Accept a message from the fabric (handling is queued)."""
-        cost = self._cost(self.config.receive_cycles)
+        cost = self._receive_cost
         self._schedule(cost, lambda done, m=message: self._handle(m, done))
 
     def _emit(
@@ -335,7 +362,7 @@ class CoherenceController:
             if on_launch is not None:
                 on_launch()
 
-        self._schedule(self._cost(self.config.send_cycles), launch)
+        self._schedule(self._send_cost, launch)
 
     def _launch(self, message: Message, cycle: int) -> None:
         record = self._outstanding.get(message.block)
@@ -502,7 +529,7 @@ class CoherenceController:
         entry.busy = True
         if requester == self.node:
             self._schedule(
-                self._cost(self.config.memory_cycles),
+                self._memory_cost,
                 lambda done: self._finish_local(block, done),
             )
         else:
@@ -512,7 +539,7 @@ class CoherenceController:
                 self._run_deferred(released)
 
             self._schedule(
-                self._cost(self.config.memory_cycles),
+                self._memory_cost,
                 lambda done: self._emit(
                     MessageKind.DATA_REPLY, requester, block, transaction,
                     on_launch=unbusy,
@@ -612,7 +639,7 @@ class CoherenceController:
 
         # Re-dispatch through the engine so deferred work pays a (small)
         # occupancy rather than running instantaneously.
-        self._schedule(self._cost(self.config.request_cycles), run_and_continue)
+        self._schedule(self._request_cost, run_and_continue)
 
     # --- remote sharer / owner side --------------------------------------
 

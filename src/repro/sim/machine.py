@@ -17,7 +17,7 @@ window, after which :meth:`Machine.run` returns the
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.mapping.base import Mapping
@@ -32,6 +32,10 @@ from repro.topology.torus import Torus
 from repro.workload.base import ThreadProgram
 
 __all__ = ["Machine"]
+
+
+def _controller_node(controller: CoherenceController) -> int:
+    return controller.node
 
 
 class Machine:
@@ -116,6 +120,14 @@ class Machine:
         self._cycle = 0
         self.tracer = None
 
+        # Event-driven engine scheduling: controllers whose engine went
+        # from idle to busy this cycle land on ``_engine_ready`` (via the
+        # wake callback — the list object's identity must be preserved),
+        # and engines mid-occupancy are parked on the ``_engine_wake``
+        # calendar keyed by their done-cycle, so ``step`` only ticks
+        # controllers that actually have something to do.
+        self._engine_ready: List[CoherenceController] = []
+        self._engine_wake: Dict[int, List[CoherenceController]] = {}
         self.controllers: List[CoherenceController] = [
             CoherenceController(
                 node=node,
@@ -123,6 +135,7 @@ class Machine:
                 home_of=self._home_of,
                 send=self._inject,
                 stats=self.stats,
+                wake=self._engine_ready.append,
             )
             for node in self.torus.nodes()
         ]
@@ -193,9 +206,45 @@ class Machine:
         cycle = self._cycle
         if cycle % self.config.network_speedup == 0:
             for processor in self.processors:
-                processor.tick(cycle)
-        for controller in self.controllers:
-            controller.tick(cycle)
+                # Inlined idle fast path (mirrors the one in
+                # Processor.tick): a processor with no active context,
+                # nothing runnable and no switch in flight just counts
+                # an idle cycle — skipping the call matters at 64
+                # processors per processor cycle.
+                if (
+                    processor._active is None
+                    and processor._ready_count == 0
+                    and processor._switch_remaining == 0
+                ):
+                    processor.idle_cycles += 1
+                else:
+                    processor.tick(cycle)
+        # Tick exactly the controllers with runnable engine work: those
+        # woken by new work this cycle plus those whose occupancy ends
+        # now.  Node order is semantics — it fixes the order messages
+        # from different nodes enter the fabric within a cycle — so the
+        # batch is sorted before running.
+        due = self._engine_wake.pop(cycle, None)
+        ready = self._engine_ready
+        if ready:
+            batch = ready[:] if due is None else due + ready
+            ready.clear()  # keep list identity: controllers hold .append
+        else:
+            batch = due
+        if batch is not None:
+            if len(batch) > 1:
+                batch.sort(key=_controller_node)
+            wake = self._engine_wake
+            for controller in batch:
+                controller._notified = False
+                controller.tick(cycle)
+                if controller._engine_thunk is not None:
+                    done = controller._engine_done_at
+                    slot = wake.get(done)
+                    if slot is None:
+                        wake[done] = [controller]
+                    else:
+                        slot.append(controller)
         self.fabric.tick(cycle)
         if self.tracer is not None:
             self.tracer.on_cycle(self, cycle)

@@ -49,10 +49,15 @@ class MessageKind(enum.Enum):
         return DATA_FLITS if self.carries_data else CONTROL_FLITS
 
 
+#: Flit counts by kind, precomputed so the per-message ``flits``
+#: attribute is a plain int (the fabrics and stats read it on every
+#: channel grant — a property chain there is measurable overhead).
+_FLITS_BY_KIND = {kind: kind.flits for kind in MessageKind}
+
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One protocol message in flight.
 
@@ -72,10 +77,11 @@ class Message:
     uid: int = field(default_factory=lambda: next(_message_ids))
     injected_at: Optional[int] = None
     delivered_at: Optional[int] = None
+    #: Size in flits; fixed by ``kind``, materialized once at creation.
+    flits: int = field(init=False, repr=False)
 
-    @property
-    def flits(self) -> int:
-        return self.kind.flits
+    def __post_init__(self) -> None:
+        self.flits = _FLITS_BY_KIND[self.kind]
 
     @property
     def latency(self) -> Optional[int]:

@@ -37,7 +37,7 @@ class ContextState(enum.Enum):
     READY = "ready"          # transaction done, waiting for the processor
 
 
-@dataclass
+@dataclass(slots=True)
 class HardwareContext:
     """One hardware context and the thread it runs.
 
@@ -84,6 +84,10 @@ class Processor:
         self._active: Optional[int] = 0
         self._switch_remaining = 0
         self._switch_target: Optional[int] = None
+        #: READY contexts, tracked so the idle fast path in tick() can
+        #: skip the round-robin scan entirely (most ticks on a stalled
+        #: node find nothing runnable).
+        self._ready_count = len(self.contexts) - 1
         self.idle_cycles = 0
         self.switch_count = 0
 
@@ -101,18 +105,20 @@ class Processor:
             return
 
         if self._active is None:
-            ready = self._find_ready()
-            if ready is None:
+            if self._ready_count == 0:
                 self.idle_cycles += 1
                 return
+            ready = self._find_ready()
             # Waking from idle: free (pipeline was already drained); the
             # single-context model's t_t = T_r + T_t depends on this.
             self._active = ready
             self.contexts[ready].state = ContextState.COMPUTING
+            self._ready_count -= 1
 
         context = self.contexts[self._active]
         if context.state is ContextState.READY:
             context.state = ContextState.COMPUTING
+            self._ready_count -= 1
         if context.state is not ContextState.COMPUTING:
             raise SimulationError(
                 f"node {self.node}: active context {self._active} in state "
@@ -140,6 +146,7 @@ class Processor:
         def on_complete(cycle: int, ctx: HardwareContext = context) -> None:
             ctx.state = ContextState.READY
             ctx.remaining_cycles = ctx.program.compute_cycles(self.rng)
+            self._ready_count += 1
 
         self.controller.request(block, is_write, network_cycle, on_complete)
         self._leave_context(index)
@@ -160,19 +167,21 @@ class Processor:
 
     def _leave_context(self, index: int) -> None:
         """After a miss: switch to another runnable context or idle."""
-        target = self._find_ready()
+        target = self._find_ready() if self._ready_count else None
         if target is None or target == index:
             self._active = None
             return
         if self.config.switch_cycles == 0:
             self._active = target
             self.contexts[target].state = ContextState.COMPUTING
+            self._ready_count -= 1
             return
         self.switch_count += 1
         self._switch_remaining = self.config.switch_cycles
         self._switch_target = target
         self._active = None
         self.contexts[target].state = ContextState.COMPUTING
+        self._ready_count -= 1
 
     # ------------------------------------------------------------------
     # Introspection.

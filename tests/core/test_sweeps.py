@@ -121,3 +121,66 @@ class TestLogspaceSizes:
 
     def test_monotone(self):
         assert np.all(np.diff(logspace_sizes()) > 0)
+
+
+class TestGainCurveLookup:
+    @pytest.fixture
+    def curve(self, system):
+        return gain_curve(system, [100.0, 1000.0, 10000.0], label="g=8")
+
+    def test_exact_size_hit(self, curve):
+        assert curve.gain_at(1000.0) == curve.results[1].gain
+
+    def test_tolerance_hit(self, curve):
+        # Within the default 1e-6 relative tolerance of a swept size.
+        nudged = 1000.0 * (1 + 5e-7)
+        assert curve.gain_at(nudged) == curve.results[1].gain
+
+    def test_miss_raises_key_error(self, curve):
+        with pytest.raises(KeyError):
+            curve.gain_at(777.0)
+
+    def test_index_is_not_part_of_equality(self, system):
+        a = gain_curve(system, [100.0, 1000.0], label="x")
+        b = gain_curve(system, [100.0, 1000.0], label="x")
+        a.gain_at(100.0)  # builds a's lazy index, leaves b's empty
+        assert a == b
+
+
+class TestSlowdownSampleImmutability:
+    @pytest.fixture
+    def sample(self, system):
+        return sweep_network_slowdowns(
+            system, [1.0, 2.0], sizes=[1000.0, 1e6]
+        )[0]
+
+    def test_gains_by_size_is_a_mapping(self, sample):
+        assert sample.gains_by_size[1000.0] > 0
+        assert set(sample.gains_by_size) == {1000.0, 1e6}
+        assert len(sample.gains_by_size) == 2
+
+    def test_gains_by_size_rejects_mutation(self, sample):
+        with pytest.raises(TypeError):
+            sample.gains_by_size[1000.0] = 2.0
+
+    def test_sample_is_hashable(self, sample):
+        assert isinstance(hash(sample), int)
+        assert sample in {sample}
+
+    def test_equal_samples_hash_equal(self, system):
+        a = sweep_network_slowdowns(system, [2.0], sizes=[1000.0])[0]
+        b = sweep_network_slowdowns(system, [2.0], sizes=[1000.0])[0]
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_accepts_plain_dict_input(self):
+        from repro.core.sweeps import SlowdownSample
+
+        sample = SlowdownSample(
+            slowdown=2.0,
+            network_speedup=0.5,
+            gains_by_size={1000.0: 3.0},
+        )
+        assert sample.gains_by_size[1000.0] == 3.0
+        with pytest.raises(TypeError):
+            sample.gains_by_size[1000.0] = 9.0

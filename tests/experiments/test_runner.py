@@ -108,3 +108,59 @@ class TestAnalyticAblations:
     def test_dimension_ablation_runs(self):
         result = run_dimension()
         assert result.tables
+
+
+class TestParallelRunner:
+    """run_all(jobs=N) must match the serial path result for result."""
+
+    @pytest.fixture
+    def small_registry(self, monkeypatch):
+        # Restrict the campaign to cheap analytic experiments so the
+        # serial-vs-parallel comparison stays fast; workers resolve the
+        # identifiers against the real registry.
+        from repro.experiments import runner
+
+        subset = ["figure-6", "figure-7", "table-1"]
+        monkeypatch.setattr(runner, "experiment_ids", lambda: subset)
+        return subset
+
+    def test_parallel_matches_serial(self, small_registry):
+        from repro.experiments.runner import run_all
+
+        serial = run_all(quick=True, jobs=1)
+        parallel = run_all(quick=True, jobs=2)
+        assert [r.experiment for r in serial] == small_registry
+        assert [r.experiment for r in parallel] == small_registry
+        for s, p in zip(serial, parallel):
+            assert s.render() == p.render()
+
+    def test_jobs_one_never_spawns_a_pool(self, small_registry, monkeypatch):
+        import concurrent.futures
+
+        from repro.experiments.runner import run_all
+
+        def boom(*args, **kwargs):
+            raise AssertionError("jobs=1 must not create a process pool")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", boom
+        )
+        results = run_all(quick=True, jobs=1)
+        assert [r.experiment for r in results] == small_registry
+
+
+class TestPerfCounters:
+    def test_run_experiment_records_counters(self):
+        result = run_experiment("figure-6", quick=True)
+        assert result.perf["wall_seconds"] >= 0
+        assert result.perf["solve_calls"] > 0
+
+    def test_perf_is_not_rendered(self):
+        result = run_experiment("figure-6", quick=True)
+        assert "wall_seconds" not in result.render()
+
+    def test_render_perf_line(self):
+        result = run_experiment("figure-6", quick=True)
+        line = result.render_perf()
+        assert line.startswith("[perf] figure-6:")
+        assert "solve_calls" in line

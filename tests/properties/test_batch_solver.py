@@ -1,0 +1,128 @@
+"""Parity: the batched solver against the scalar reference solver.
+
+``solve_batch`` must reproduce ``solve`` lane for lane — same bisection,
+same closed-form fast paths, same extension handling — to within 1e-10
+relative.  The grids below sweep distances, node parameters, and every
+network-model extension combination over seeded random draws, so the
+vectorized bracket updates are exercised across converged and
+still-bisecting lanes simultaneously.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import NodeModel, TorusNetworkModel, solve, solve_batch
+
+_FIELDS = (
+    "message_rate",
+    "message_latency",
+    "per_hop_latency",
+    "utilization",
+    "node_channel_delay",
+    "distance",
+    "transaction_rate",
+    "issue_time",
+    "transaction_latency",
+)
+
+_TOLERANCE = 1e-10
+
+
+def _assert_parity(node, network, distances, sensitivity=None, intercept=None):
+    batch = solve_batch(
+        node, network, distances, sensitivity=sensitivity, intercept=intercept
+    )
+    for i, distance in enumerate(distances):
+        lane_node = node
+        if sensitivity is not None or intercept is not None:
+            lane_node = NodeModel(
+                sensitivity=(
+                    node.sensitivity if sensitivity is None else sensitivity[i]
+                ),
+                intercept=(
+                    node.intercept if intercept is None else intercept[i]
+                ),
+            )
+        scalar = solve(lane_node, network, float(distance))
+        for name in _FIELDS:
+            got = float(getattr(batch, name)[i])
+            want = getattr(scalar, name)
+            scale = max(abs(want), 1.0)
+            assert abs(got - want) <= _TOLERANCE * scale, (
+                f"{name} lane {i} (d={distance}): batch {got!r} "
+                f"vs scalar {want!r}"
+            )
+
+
+@pytest.mark.parametrize(
+    "clamp_local,node_channel_contention",
+    [(True, True), (True, False), (False, True), (False, False)],
+)
+def test_distance_sweep_parity_across_extensions(
+    clamp_local, node_channel_contention
+):
+    node = NodeModel(sensitivity=3.26, intercept=90.0)
+    network = TorusNetworkModel(
+        dimensions=2,
+        message_size=12.0,
+        clamp_local=clamp_local,
+        node_channel_contention=node_channel_contention,
+    )
+    distances = np.linspace(0.5, 60.0, 40)
+    _assert_parity(node, network, distances)
+
+
+@pytest.mark.parametrize("dimensions", [1, 2, 3])
+def test_random_grid_parity(dimensions):
+    rng = random.Random(20260806 + dimensions)
+    network = TorusNetworkModel(
+        dimensions=dimensions,
+        message_size=rng.uniform(4.0, 32.0),
+    )
+    node = NodeModel(
+        sensitivity=rng.uniform(0.5, 8.0),
+        intercept=rng.uniform(10.0, 300.0),
+    )
+    distances = np.array(
+        [rng.uniform(0.2, 40.0) for _ in range(60)]
+    )
+    _assert_parity(node, network, distances)
+
+
+def test_per_lane_node_parameters_parity():
+    rng = random.Random(7)
+    node = NodeModel(sensitivity=3.0, intercept=80.0)
+    network = TorusNetworkModel(dimensions=2, message_size=12.0)
+    count = 30
+    distances = np.array([rng.uniform(1.0, 20.0) for _ in range(count)])
+    sensitivity = np.array([rng.uniform(0.8, 6.0) for _ in range(count)])
+    intercept = np.array([rng.uniform(20.0, 200.0) for _ in range(count)])
+    _assert_parity(
+        node, network, distances, sensitivity=sensitivity, intercept=intercept
+    )
+
+
+def test_bimodal_second_moment_parity():
+    node = NodeModel(sensitivity=3.26, intercept=90.0)
+    network = TorusNetworkModel(
+        dimensions=2,
+        message_size=12.0,
+        message_size_second_moment=192.0,  # the 8/24-flit protocol mix
+    )
+    distances = np.linspace(1.0, 30.0, 25)
+    _assert_parity(node, network, distances)
+
+
+def test_scalar_distance_broadcasts():
+    node = NodeModel(sensitivity=2.5, intercept=60.0)
+    network = TorusNetworkModel(dimensions=2, message_size=12.0)
+    batch = solve_batch(node, network, 4.0)
+    scalar = solve(node, network, 4.0)
+    assert batch.transaction_rate.shape == (1,)
+    assert batch.point(0) is not None
+    assert (
+        abs(float(batch.message_rate[0]) - scalar.message_rate)
+        <= _TOLERANCE * scalar.message_rate
+    )

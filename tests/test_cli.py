@@ -67,3 +67,25 @@ class TestCommands:
 
         write_report(str(target), ["table-1"], quick=True)
         assert target.exists()
+
+
+class TestRunFlags:
+    def test_run_without_experiment_or_all_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_accepts_jobs_flag(self):
+        args = build_parser().parse_args(["run", "--all", "--jobs", "4"])
+        assert args.run_all is True
+        assert args.jobs == 4
+
+    def test_run_verbose_prints_perf_counters(self, capsys):
+        assert main(["run", "figure-6", "--quick", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "[perf] figure-6:" in out
+        assert "solve_calls" in out
+
+    def test_run_without_verbose_omits_perf(self, capsys):
+        assert main(["run", "figure-6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[perf]" not in out
