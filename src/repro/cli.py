@@ -7,11 +7,22 @@ Subcommands:
 * ``run --all [--jobs N]`` — run every experiment, optionally across a
   process pool (reports are identical to a serial run);
 * ``all [--quick] [--jobs N]`` — same as ``run --all``;
+* ``diagnose <id>`` — run one experiment with solver convergence
+  diagnostics on and report per-solve iteration counts, branch
+  selection, and flagged (near-non-convergent or saturated) solves;
 * ``gain --processors N [--contexts P] [--slowdown F]`` — one-off
   expected-gain query against the calibrated Alewife system.
 
+Experiment ids accept compact aliases: ``fig3`` == ``figure-3``,
+``table1`` == ``table-1``.
+
 ``--verbose`` on ``run``/``all`` appends per-experiment solver counters
-and wall time after each report.
+and wall time after each report — including partial counts (with a
+``FAILED`` marker) when an experiment raises.  ``--trace DIR`` on
+``run``/``all`` enables the observability layer and writes a Chrome
+trace (``trace.json``, loadable in ``chrome://tracing`` / Perfetto), raw
+span records (``trace.jsonl``), and a provenance manifest
+(``manifest.json``) into ``DIR``.
 """
 
 from __future__ import annotations
@@ -20,8 +31,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.alewife import alewife_system
-from repro.experiments.runner import experiment_ids, run_all, run_experiment
+from repro.experiments.result import render_perf_line
+from repro.experiments.runner import (
+    experiment_ids,
+    resolve_experiment_id,
+    run_all,
+    run_experiment,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -43,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument(
         "experiment", nargs="?", choices=experiment_ids(),
-        help="experiment id (omit with --all)",
+        type=resolve_experiment_id, metavar="EXPERIMENT",
+        help="experiment id or alias, e.g. figure-3 / fig3 (omit with --all)",
     )
     run_parser.add_argument(
         "--all", action="store_true", dest="run_all",
@@ -61,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print per-experiment perf counters and wall time",
     )
+    run_parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="enable observability; write Chrome trace + manifest to DIR",
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true")
@@ -69,6 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 1, serial)",
     )
     all_parser.add_argument("--verbose", action="store_true")
+    all_parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="enable observability; write Chrome trace + manifest to DIR",
+    )
+
+    diagnose_parser = subparsers.add_parser(
+        "diagnose",
+        help="run one experiment with solver convergence diagnostics",
+    )
+    diagnose_parser.add_argument(
+        "experiment", choices=experiment_ids(),
+        type=resolve_experiment_id, metavar="EXPERIMENT",
+        help="experiment id or alias, e.g. figure-3 / fig3",
+    )
+    diagnose_parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter simulation windows / coarser sweeps",
+    )
+    diagnose_parser.add_argument(
+        "--threshold", type=float, default=0.95, metavar="RHO",
+        help="flag operating points with utilization above RHO "
+        "(default: 0.95)",
+    )
 
     gain_parser = subparsers.add_parser(
         "gain", help="expected locality gain for one machine configuration"
@@ -105,7 +151,15 @@ def _command_list() -> int:
 
 
 def _command_run(identifier: str, quick: bool, verbose: bool = False) -> int:
-    result = run_experiment(identifier, quick=quick)
+    try:
+        result = run_experiment(identifier, quick=quick)
+    except Exception as exc:
+        print(f"experiment {identifier} failed: {exc}", file=sys.stderr)
+        if verbose:
+            partial = getattr(exc, "partial_perf", None)
+            if partial:
+                print(render_perf_line(identifier, partial))
+        return 1
     print(result.render())
     if verbose:
         print()
@@ -121,6 +175,30 @@ def _command_all(quick: bool, jobs: int = 1, verbose: bool = False) -> int:
     if verbose:
         for result in results:
             print(result.render_perf())
+    return 0
+
+
+def _command_diagnose(identifier: str, quick: bool, threshold: float) -> int:
+    from repro import perf
+    from repro.obs.diagnostics import render_diagnosis
+
+    obs.enable()
+    before = perf.snapshot()
+    try:
+        run_experiment(identifier, quick=quick)
+    except Exception as exc:
+        # Still render whatever convergence records were collected; a
+        # saturated/non-convergent solve raising is exactly the case the
+        # diagnostics exist for.
+        print(f"experiment {identifier} raised: {exc}", file=sys.stderr)
+    print(
+        render_diagnosis(
+            obs.diagnostics(),
+            identifier,
+            utilization_threshold=threshold,
+            perf_delta=perf.delta(before),
+        )
+    )
     return 0
 
 
@@ -144,20 +222,52 @@ def _command_report(output: str, full: bool) -> int:
     return 0
 
 
+def _write_trace_outputs(args, experiments: List[str]) -> None:
+    """Write trace + manifest artifacts for a traced run."""
+    paths = obs.write_outputs(
+        args.trace,
+        experiments=experiments,
+        parameters={
+            "experiments": experiments,
+            "quick": bool(getattr(args, "quick", False)),
+            "jobs": int(getattr(args, "jobs", 1)),
+            "command": args.command,
+        },
+    )
+    print(f"trace written to {paths['trace']}")
+    print(f"spans written to {paths['spans']}")
+    print(f"manifest written to {paths['manifest']}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        obs.enable()
     if args.command == "list":
         return _command_list()
     if args.command == "run":
         if args.run_all:
-            return _command_all(args.quick, jobs=args.jobs, verbose=args.verbose)
+            code = _command_all(
+                args.quick, jobs=args.jobs, verbose=args.verbose
+            )
+            if args.trace:
+                _write_trace_outputs(args, experiment_ids())
+            return code
         if args.experiment is None:
             parser.error("run requires an experiment id or --all")
-        return _command_run(args.experiment, args.quick, verbose=args.verbose)
+        code = _command_run(args.experiment, args.quick, verbose=args.verbose)
+        if args.trace:
+            _write_trace_outputs(args, [args.experiment])
+        return code
     if args.command == "all":
-        return _command_all(args.quick, jobs=args.jobs, verbose=args.verbose)
+        code = _command_all(args.quick, jobs=args.jobs, verbose=args.verbose)
+        if args.trace:
+            _write_trace_outputs(args, experiment_ids())
+        return code
+    if args.command == "diagnose":
+        return _command_diagnose(args.experiment, args.quick, args.threshold)
     if args.command == "gain":
         return _command_gain(args.processors, args.contexts, args.slowdown)
     if args.command == "report":

@@ -32,11 +32,11 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.core.network import TorusNetworkModel
 from repro.core.node import NodeModel
 from repro.errors import ConvergenceError, ParameterError, SaturationError
@@ -150,11 +150,27 @@ def solve(
 
     Uses closed-form solutions where the model permits (constant network
     latency under the local clamp) and safeguarded bisection otherwise.
+
+    With observability on (:func:`repro.obs.enable`) each call emits a
+    ``solver.solve`` span and a per-solve convergence record (branch,
+    iterations, bracket width, residual); the disabled path is the bare
+    solver — one flag check, no other overhead.
     """
     if not distance > 0:
         raise ParameterError(f"distance d must be positive, got {distance!r}")
     perf.COUNTERS.solve_calls += 1
+    if not obs.is_enabled():
+        return _solve_impl(node, network, distance, None)
+    with obs.span("solver.solve", distance=float(distance)):
+        return _solve_impl(node, network, distance, obs.solver_diagnostics())
 
+
+def _solve_impl(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    distance: float,
+    diag,
+) -> OperatingPoint:
     ceiling = network.max_rate(distance)
 
     # Fast path: no contention terms at all => network latency is the
@@ -165,12 +181,23 @@ def solve(
     ):
         rate = node.sensitivity / (node.intercept + network.zero_load_latency(distance))
         if rate >= network.saturation_rate(distance):
+            if diag is not None:
+                diag.record(
+                    "scalar", "saturation", distance, message_rate=rate,
+                    utilization=1.0,
+                )
             raise SaturationError(
                 "clamped model predicts injection beyond channel capacity "
                 f"(r_m = {rate:.6g} >= {network.saturation_rate(distance):.6g}); "
                 "the k_d < 1 clamp is not meaningful at this load"
             )
-        return _make_point(node, network, rate, distance)
+        point = _make_point(node, network, rate, distance)
+        if diag is not None:
+            diag.record(
+                "scalar", "linear", distance, message_rate=rate,
+                utilization=point.utilization,
+            )
+        return point
 
     low = min(1e-12, ceiling * 1e-9)
     high = ceiling * (1.0 - 1e-9)
@@ -180,6 +207,11 @@ def solve(
         # The node cannot sustain even an infinitesimal rate profitably;
         # with a positive sensitivity this cannot happen (node curve
         # diverges), so reaching here means numerically degenerate input.
+        if diag is not None:
+            diag.record(
+                "scalar", "saturation", distance, residual=gap_low,
+                message_rate=low,
+            )
         raise SaturationError(
             f"no feasible operating point: node curve below network curve "
             f"at r_m = {low:.3g} (gap {gap_low:.3g})"
@@ -191,13 +223,18 @@ def solve(
         # the binding ceiling is the mesh channel, where T_h is clamped).
         # The model then has no interior fixed point; the honest answer
         # is saturation.
+        if diag is not None:
+            diag.record(
+                "scalar", "saturation", distance, residual=gap_high,
+                message_rate=high, utilization=1.0,
+            )
         raise SaturationError(
             "operating point lies beyond network saturation "
             f"(gap at ceiling = {gap_high:.3g}); reduce load or enable "
             "the contention terms"
         )
 
-    for _ in range(_MAX_ITERATIONS):
+    for iteration in range(1, _MAX_ITERATIONS + 1):
         mid = 0.5 * (low + high)
         gap_mid = _curve_gap(node, network, mid, distance)
         if gap_mid > 0:
@@ -205,8 +242,24 @@ def solve(
         else:
             high = mid
         if (high - low) <= _RELATIVE_TOLERANCE * high:
-            return _make_point(node, network, 0.5 * (low + high), distance)
+            rate = 0.5 * (low + high)
+            point = _make_point(node, network, rate, distance)
+            if diag is not None:
+                diag.record(
+                    "scalar", "bisection", distance, iterations=iteration,
+                    bracket_width=(high - low) / high,
+                    residual=_curve_gap(node, network, rate, distance),
+                    message_rate=rate, utilization=point.utilization,
+                )
+            return point
 
+    if diag is not None:
+        diag.record(
+            "scalar", "non-convergent", distance, iterations=_MAX_ITERATIONS,
+            bracket_width=(high - low) / high,
+            residual=_curve_gap(node, network, 0.5 * (low + high), distance),
+            message_rate=0.5 * (low + high),
+        )
     raise ConvergenceError(
         f"combined-model bisection failed to converge (bracket [{low}, {high}])",
         residual=_curve_gap(node, network, 0.5 * (low + high), distance),
@@ -316,6 +369,22 @@ def solve_batch(
         empty = np.empty(0, dtype=float)
         return BatchOperatingPoints(*([empty] * 9))
 
+    if not obs.is_enabled():
+        return _solve_batch_impl(node, network, d, s, intercept_arr, None)
+    with obs.span("solver.solve_batch", lanes=int(d.size)):
+        return _solve_batch_impl(
+            node, network, d, s, intercept_arr, obs.solver_diagnostics()
+        )
+
+
+def _solve_batch_impl(
+    node: NodeModel,
+    network: TorusNetworkModel,
+    d: np.ndarray,
+    s: np.ndarray,
+    intercept_arr: np.ndarray,
+    diag,
+) -> BatchOperatingPoints:
     dims = network.dimensions
     size = network.message_size
     ncc = network.node_channel_contention
@@ -398,6 +467,9 @@ def solve_batch(
         # until then and is skipped for speed.
         earliest = max(0, int(-np.log2(_RELATIVE_TOLERANCE)) - 1)
         update = np.empty_like(d)
+        converged_at = (
+            np.zeros(d.size, dtype=np.int64) if diag is not None else None
+        )
         for iteration in range(1, _MAX_ITERATIONS + 1):
             mid = 0.5 * (low + high)
             above = curve_gap(mid) > 0.0
@@ -405,7 +477,13 @@ def solve_batch(
             np.copyto(high, mid, where=~above)
             if iteration >= earliest:
                 np.subtract(high, low, out=update)
-                if (update <= _RELATIVE_TOLERANCE * high).all():
+                done = update <= _RELATIVE_TOLERANCE * high
+                if converged_at is not None:
+                    np.copyto(
+                        converged_at, iteration,
+                        where=done & (converged_at == 0),
+                    )
+                if done.all():
                     break
         else:
             wide = (high - low) > _RELATIVE_TOLERANCE * high
@@ -432,6 +510,28 @@ def solve_batch(
         channel_delay = np.zeros_like(rate)
     message_time = 1.0 / rate
     g = node.messages_per_transaction
+    if diag is not None:
+        width = np.zeros_like(rate)
+        residual = np.zeros_like(rate)
+        if bisect.any():
+            np.copyto(width, (high - low) / high, where=bisect)
+            np.copyto(residual, curve_gap(rate), where=bisect)
+        for i in range(d.size):
+            if linear[i]:
+                diag.record(
+                    "batch", "linear", float(d[i]),
+                    message_rate=float(rate[i]),
+                    utilization=float(rho[i]),
+                )
+            else:
+                diag.record(
+                    "batch", "bisection", float(d[i]),
+                    iterations=int(converged_at[i]),
+                    bracket_width=float(width[i]),
+                    residual=float(residual[i]),
+                    message_rate=float(rate[i]),
+                    utilization=float(rho[i]),
+                )
     return BatchOperatingPoints(
         message_rate=rate,
         message_latency=d * per_hop + size + channel_delay,
@@ -528,35 +628,52 @@ def solve_quadratic(
     quad_c = -sensitivity
 
     saturation = network.saturation_rate(distance)
-    root = _physical_root(quad_a, quad_b, quad_c, saturation)
+    root, branch = _physical_root(quad_a, quad_b, quad_c, saturation)
+    diag = obs.solver_diagnostics()
     if root is None:
+        if diag is not None:
+            diag.record("quadratic", "saturation", distance, utilization=1.0)
         raise SaturationError(
             "quadratic has no root in (0, saturation); no feasible "
             f"operating point at d = {distance:.4g}"
         )
-    return _make_point(node, network, root, distance)
+    point = _make_point(node, network, root, distance)
+    if diag is not None:
+        diag.record(
+            "quadratic", branch, distance, message_rate=root,
+            utilization=point.utilization,
+        )
+    return point
 
 
 def _physical_root(
     quad_a: float, quad_b: float, quad_c: float, saturation: float
-) -> Optional[float]:
-    """Root of ``A r**2 + B r + C`` lying strictly inside (0, saturation)."""
+) -> Tuple[Optional[float], str]:
+    """Root of ``A r**2 + B r + C`` strictly inside (0, saturation).
+
+    Returns ``(root, branch)`` where ``branch`` names which solution
+    branch produced the root — ``"linear"`` for the degenerate A = 0
+    case, ``"root+"``/``"root-"`` for the two quadratic roots — so the
+    convergence diagnostics can report which root selection fired.
+    """
     if quad_a == 0.0:
         if quad_b == 0.0:
-            return None
+            return None, "degenerate"
         candidate = -quad_c / quad_b
-        return candidate if 0.0 < candidate < saturation else None
+        if 0.0 < candidate < saturation:
+            return candidate, "linear"
+        return None, "linear"
     discriminant = quad_b * quad_b - 4.0 * quad_a * quad_c
     if discriminant < 0.0:
-        return None
+        return None, "complex"
     sqrt_disc = discriminant**0.5
-    for candidate in (
-        (-quad_b + sqrt_disc) / (2.0 * quad_a),
-        (-quad_b - sqrt_disc) / (2.0 * quad_a),
+    for candidate, branch in (
+        ((-quad_b + sqrt_disc) / (2.0 * quad_a), "root+"),
+        ((-quad_b - sqrt_disc) / (2.0 * quad_a), "root-"),
     ):
         if 0.0 < candidate < saturation:
-            return candidate
-    return None
+            return candidate, branch
+    return None, "no-physical-root"
 
 
 def solve_with_floor(
@@ -591,6 +708,12 @@ def solve_with_floor(
     # by construction.
     floor_rate = node.messages_per_transaction / min_issue_time
     latency = network.message_latency(floor_rate, distance)
+    diag = obs.solver_diagnostics()
+    if diag is not None:
+        diag.record(
+            "floor", "floor-clamp", distance, message_rate=floor_rate,
+            utilization=network.channel_utilization(floor_rate, distance),
+        )
     return OperatingPoint(
         message_rate=floor_rate,
         message_latency=latency,

@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.combined import OperatingPoint, solve_batch
 from repro.core.limits import limiting_per_hop_latency
 from repro.core.metrics import GainResult, expected_gain_batch
@@ -53,7 +54,8 @@ def sweep_distances(
 ) -> List[DistanceSample]:
     """Solve the combined model across a range of distances (Figures 4-5)."""
     values = [float(d) for d in distances]
-    batch = solve_batch(system.node, system.network, values)
+    with obs.span("sweep.distances", points=len(values)):
+        batch = solve_batch(system.node, system.network, values)
     return [
         DistanceSample(distance=d, point=batch.point(i))
         for i, d in enumerate(values)
@@ -110,9 +112,14 @@ def gain_curve(
     All random-mapping points are solved in one batch; the shared
     ideal-mapping point is solved once.
     """
-    results = expected_gain_batch(
-        system.node, system.network, sizes, ideal_distance=ideal_distance
-    )
+    size_values = [float(n) for n in sizes]
+    with obs.span("sweep.gain_curve", sizes=len(size_values), label=label):
+        results = expected_gain_batch(
+            system.node,
+            system.network,
+            size_values,
+            ideal_distance=ideal_distance,
+        )
     return GainCurve(label=label, results=results)
 
 
@@ -206,12 +213,15 @@ def sweep_network_slowdowns(
             lane_distances.append(distance)
             lane_intercepts.append(intercept)
 
-    batch = solve_batch(
-        system.node,
-        system.network,
-        np.array(lane_distances),
-        intercept=np.array(lane_intercepts),
-    )
+    with obs.span(
+        "sweep.slowdowns", rows=len(factors), sizes=len(size_values)
+    ):
+        batch = solve_batch(
+            system.node,
+            system.network,
+            np.array(lane_distances),
+            intercept=np.array(lane_intercepts),
+        )
 
     samples = []
     stride = 1 + len(size_values)
@@ -270,12 +280,13 @@ def sweep_contexts(
         / transaction.critical_messages
         for p in levels
     ]
-    batch = solve_batch(
-        system.node,
-        system.network,
-        float(distance),
-        sensitivity=np.array(sensitivities),
-    )
+    with obs.span("sweep.contexts", levels=len(levels)):
+        batch = solve_batch(
+            system.node,
+            system.network,
+            float(distance),
+            sensitivity=np.array(sensitivities),
+        )
     message_size = system.network.message_size
     dims = system.network.dimensions
     return [

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.tables import render_table
 from repro.core.combined import solve_batch
 from repro.errors import ParameterError
@@ -181,16 +182,22 @@ def run_campaign(**axes: Iterable) -> Campaign:
         group["intercepts"] += [node.intercept] * 2
         points.append((int(dimensions), lane, random_distance))
 
-    solved = {
-        dims: solve_batch(
-            group["node"],
-            group["network"],
-            group["distances"],
-            sensitivity=np.array(group["sensitivities"]),
-            intercept=np.array(group["intercepts"]),
-        )
-        for dims, group in groups.items()
-    }
+    with obs.span(
+        "campaign.solve",
+        points=len(grid),
+        groups=len(groups),
+        lanes=sum(len(g["distances"]) for g in groups.values()),
+    ):
+        solved = {
+            dims: solve_batch(
+                group["node"],
+                group["network"],
+                group["distances"],
+                sensitivity=np.array(group["sensitivities"]),
+                intercept=np.array(group["intercepts"]),
+            )
+            for dims, group in groups.items()
+        }
 
     for (contexts, processors, slowdown, dimensions, grain_scale), (
         dims,
@@ -213,4 +220,8 @@ def run_campaign(**axes: Iterable) -> Campaign:
                 random_rate=random_rate,
             )
         )
+    if obs.is_enabled():
+        obs.REGISTRY.counter(
+            "campaign.records", help="campaign grid points evaluated"
+        ).inc(len(campaign.records))
     return campaign

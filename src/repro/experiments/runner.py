@@ -3,21 +3,30 @@
 Maps experiment identifiers (``figure-3`` .. ``figure-8``, ``table-1``,
 and the ablations) to their drivers.  ``repro-locality run <id>`` and the
 benchmarks both resolve experiments through this registry, so the set of
-reproducible artifacts lives in exactly one place.
+reproducible artifacts lives in exactly one place.  Compact aliases
+(``fig3``, ``table1``) resolve to their canonical ids via
+:func:`resolve_experiment_id`.
 
 ``run_all`` can fan experiments out over a process pool
 (``repro-locality run --all --jobs N``).  Each experiment is pure —
 drivers take only the ``quick`` flag and share no mutable state — so
 per-process isolation changes nothing about the results, and the runner
 reassembles them in registry order regardless of completion order.
+
+With observability on (:mod:`repro.obs`), every experiment runs inside
+an ``experiment`` span and ships its span records back on
+``result.obs`` — including from pool workers, whose spans and solver
+counters the parent merges so a ``--jobs N`` run yields one combined
+trace and manifest equivalent to the serial run's.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ParameterError
 from repro.experiments import (
     ablations,
@@ -33,8 +42,15 @@ from repro.experiments import (
     ucl_nucl,
 )
 from repro.experiments.result import ExperimentResult
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS
 
-__all__ = ["REGISTRY", "experiment_ids", "run_experiment", "run_all"]
+__all__ = [
+    "REGISTRY",
+    "experiment_ids",
+    "resolve_experiment_id",
+    "run_experiment",
+    "run_all",
+]
 
 Runner = Callable[[bool], ExperimentResult]
 
@@ -63,19 +79,68 @@ def experiment_ids() -> List[str]:
     return list(REGISTRY)
 
 
+def _normalize(identifier: str) -> str:
+    return (
+        identifier.strip()
+        .lower()
+        .replace("figure", "fig")
+        .replace("-", "")
+        .replace("_", "")
+    )
+
+
+def resolve_experiment_id(identifier: str) -> str:
+    """Map compact aliases (``fig3``, ``table1``) to canonical ids.
+
+    Exact registry ids pass through unchanged; unknown identifiers are
+    returned as-is so the caller's usual unknown-experiment error (or
+    argparse ``choices`` check) still fires with the original spelling.
+    """
+    if identifier in REGISTRY:
+        return identifier
+    aliases = {_normalize(known): known for known in REGISTRY}
+    return aliases.get(_normalize(identifier), identifier)
+
+
 def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id, attaching perf diagnostics to the result."""
+    """Run one experiment by id, attaching perf diagnostics to the result.
+
+    Counters are snapshotted before the driver and the delta is computed
+    on *every* exit path, so a raising experiment still accounts for the
+    solver work it did: the partial delta (with a ``failed`` marker and
+    wall time) is attached to the exception as ``partial_perf`` for the
+    CLI to report.
+    """
+    identifier = resolve_experiment_id(identifier)
     runner = REGISTRY.get(identifier)
     if runner is None:
         known = ", ".join(REGISTRY)
         raise ParameterError(
             f"unknown experiment {identifier!r}; known: {known}"
         )
+    collecting = obs.is_enabled()
+    mark = obs.trace_mark() if collecting else 0
     before = perf.snapshot()
     started = time.perf_counter()
-    result = runner(quick)
+    result: Optional[ExperimentResult] = None
+    try:
+        with obs.span("experiment", experiment=identifier, quick=bool(quick)):
+            result = runner(quick)
+    except BaseException as exc:
+        elapsed = time.perf_counter() - started
+        exc.partial_perf = dict(
+            perf.delta(before), wall_seconds=elapsed, failed=True
+        )
+        raise
     elapsed = time.perf_counter() - started
     result.perf = dict(perf.delta(before), wall_seconds=elapsed)
+    if collecting:
+        obs.REGISTRY.histogram(
+            "experiment.wall_seconds",
+            LATENCY_BUCKETS_SECONDS,
+            help="per-experiment wall time",
+        ).observe(elapsed)
+        result.obs = {"pid": os.getpid(), "spans": obs.spans_since(mark)}
     return result
 
 
@@ -83,28 +148,71 @@ def _run_one(arguments) -> ExperimentResult:
     """Pool worker: run one experiment in a fresh process.
 
     Module-level so it pickles; takes a single tuple so it maps cleanly.
+    ``collect_obs`` mirrors the parent's observability switch into the
+    worker, so span records ride back on the result for merging.
     """
-    identifier, quick = arguments
+    identifier, quick, collect_obs = arguments
+    if collect_obs:
+        # Fork-started workers inherit the parent's trace buffer —
+        # including its pid stamp and any spans recorded before the
+        # fork.  Start from a fresh buffer so this worker's spans carry
+        # its own pid and nothing is shipped back twice.
+        obs.enable()
+        obs.reset()
     return run_experiment(identifier, quick)
 
 
-def run_all(quick: bool = False, jobs: int = 1) -> List[ExperimentResult]:
-    """Run every registered experiment, in registry order.
+def _merge_worker_observability(results: Sequence[ExperimentResult]) -> None:
+    """Fold pool workers' spans and counters into this process's state."""
+    own_pid = os.getpid()
+    for result in results:
+        if not result.obs or result.obs.get("pid") == own_pid:
+            continue
+        obs.ingest_spans(result.obs.get("spans", ()))
+        for name, value in result.perf.items():
+            if name in perf.snapshot() and value:
+                setattr(
+                    perf.COUNTERS, name, getattr(perf.COUNTERS, name) + value
+                )
 
-    With ``jobs > 1`` the experiments run across a
-    ``ProcessPoolExecutor`` of that many workers; results are still
-    returned in registry order, and are identical to a serial run (each
-    driver depends only on its arguments).  Falls back to the serial
-    path when ``jobs <= 1`` or the platform cannot start a pool.
+
+def run_all(
+    quick: bool = False,
+    jobs: int = 1,
+    experiments: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run every registered experiment (or the ``experiments`` subset).
+
+    Results come back in registry order.  With ``jobs > 1`` the
+    experiments run across a ``ProcessPoolExecutor`` of that many
+    workers; results are identical to a serial run (each driver depends
+    only on its arguments), and when observability is on the workers'
+    spans and counters are merged into the parent so traces and
+    manifests cover the whole campaign.  Falls back to the serial path
+    when ``jobs <= 1`` or the platform cannot start a pool.
     """
-    identifiers = experiment_ids()
+    if experiments is None:
+        identifiers = experiment_ids()
+    else:
+        identifiers = [resolve_experiment_id(e) for e in experiments]
+        unknown = [i for i in identifiers if i not in REGISTRY]
+        if unknown:
+            raise ParameterError(
+                f"unknown experiments {unknown}; known: {experiment_ids()}"
+            )
     if jobs > 1:
         try:
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                work = [(identifier, quick) for identifier in identifiers]
-                return list(pool.map(_run_one, work))
+                work = [
+                    (identifier, quick, obs.is_enabled())
+                    for identifier in identifiers
+                ]
+                results = list(pool.map(_run_one, work))
+            if obs.is_enabled():
+                _merge_worker_observability(results)
+            return results
         except (ImportError, NotImplementedError, OSError):
             pass  # no usable process pool on this platform; run serially
     return [run_experiment(identifier, quick) for identifier in identifiers]

@@ -13,6 +13,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import MappingError
 from repro.mapping.base import Mapping
 from repro.mapping.evaluate import average_distance
@@ -101,34 +102,45 @@ def anneal_mapping(
     temperature = initial_temperature
     accepted = 0
     threads = graph.threads
-    for _ in range(steps):
-        temperature *= cooling
-        thread_a = generator.randrange(threads)
-        thread_b = generator.randrange(threads)
-        if thread_a == thread_b:
-            continue
-        before = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-        assignment[thread_a], assignment[thread_b] = (
-            assignment[thread_b],
-            assignment[thread_a],
-        )
-        after = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-        delta = after - before
-        accept = delta < 0 or (
-            temperature > 1e-12
-            and generator.random() < math.exp(-delta / temperature)
-        )
-        if accept:
-            accepted += 1
-            current_sum += delta
-            if current_sum < best_sum:
-                best_sum = current_sum
-                best_assignment = tuple(assignment)
-        else:
+    with obs.span(
+        "mapping.anneal", steps=steps, threads=threads, seed=seed
+    ):
+        for _ in range(steps):
+            temperature *= cooling
+            thread_a = generator.randrange(threads)
+            thread_b = generator.randrange(threads)
+            if thread_a == thread_b:
+                continue
+            before = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
             assignment[thread_a], assignment[thread_b] = (
                 assignment[thread_b],
                 assignment[thread_a],
             )
+            after = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
+            delta = after - before
+            accept = delta < 0 or (
+                temperature > 1e-12
+                and generator.random() < math.exp(-delta / temperature)
+            )
+            if accept:
+                accepted += 1
+                current_sum += delta
+                if current_sum < best_sum:
+                    best_sum = current_sum
+                    best_assignment = tuple(assignment)
+            else:
+                assignment[thread_a], assignment[thread_b] = (
+                    assignment[thread_b],
+                    assignment[thread_a],
+                )
+
+    if obs.is_enabled():
+        obs.REGISTRY.counter(
+            "anneal.attempted_moves", help="annealing swap attempts"
+        ).inc(steps)
+        obs.REGISTRY.counter(
+            "anneal.accepted_moves", help="annealing swaps accepted"
+        ).inc(accepted)
 
     final = Mapping(assignment=best_assignment, processors=initial.processors)
     return AnnealResult(

@@ -1,41 +1,81 @@
-"""Lightweight global performance counters.
+"""Legacy perf-counter shim over the :mod:`repro.obs.metrics` registry.
 
-The solver and sweep layers increment these as they work; the experiment
-runner snapshots them around each experiment so the CLI can report, per
-experiment, how many operating-point solves ran, how many were served
-from the memoized cache, and how much work the batched solver absorbed.
+Historically this module owned a process-global dataclass of solver
+counters; the unified observability layer superseded it with the
+:data:`repro.obs.metrics.REGISTRY`.  The public API here is preserved —
+``perf.COUNTERS.solve_calls += 1``, :func:`snapshot`, :func:`delta`,
+:func:`reset` all behave exactly as before — but the storage now *is*
+the registry (counters named ``perf.<name>``), so the same numbers show
+up in run manifests and metric snapshots without double bookkeeping.
 
-Counters are process-global and cheap (plain integer adds on a module
-singleton).  They are diagnostics, not results: experiment outputs never
-depend on them, so parallel runs — where each worker process has its own
-counters — stay byte-identical to serial ones.
+Counters remain process-global and cheap, and they are diagnostics, not
+results: experiment outputs never depend on them, so parallel runs —
+where each worker process has its own counters — stay byte-identical to
+serial ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
 from typing import Dict
+
+from repro.obs.metrics import REGISTRY, Counter
 
 __all__ = ["PerfCounters", "COUNTERS", "snapshot", "delta", "reset"]
 
+#: Counter attribute names, in reporting order.
+_COUNTER_NAMES = (
+    "solve_calls",
+    "cache_hits",
+    "cache_misses",
+    "batch_solves",
+    "batch_points",
+)
 
-@dataclass
+_HELP = {
+    "solve_calls": "scalar combined-model solves (bisection or closed form)",
+    "cache_hits": "solve_cached lookups answered from the memoized cache",
+    "cache_misses": "solve_cached lookups that had to run the solver",
+    "batch_solves": "solve_batch invocations",
+    "batch_points": "total operating points produced by solve_batch",
+}
+
+
 class PerfCounters:
-    """Process-wide solver/sweep activity counters."""
+    """Attribute view over the registry's ``perf.*`` counters.
 
-    #: Scalar combined-model solves (bisection or closed form).
-    solve_calls: int = 0
-    #: ``solve_cached`` lookups answered from the memoized cache.
-    cache_hits: int = 0
-    #: ``solve_cached`` lookups that had to run the solver.
-    cache_misses: int = 0
-    #: Number of ``solve_batch`` invocations.
-    batch_solves: int = 0
-    #: Total operating points produced by ``solve_batch``.
-    batch_points: int = 0
+    ``COUNTERS.solve_calls`` reads the registry counter's value;
+    assignment (and so ``+=``) writes it back, keeping the historical
+    integer-attribute interface while the registry stays the single
+    source of truth.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry=REGISTRY):
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                name: registry.counter(f"perf.{name}", help=_HELP[name])
+                for name in _COUNTER_NAMES
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        counter = counters.get(name)
+        if counter is None:
+            raise AttributeError(f"unknown perf counter {name!r}")
+        counter.value = value
 
     def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: self._counters[name].value for name in _COUNTER_NAMES}
 
 
 #: The process-global counter instance.
@@ -55,5 +95,5 @@ def delta(before: Dict[str, int]) -> Dict[str, int]:
 
 def reset() -> None:
     """Zero all counters (mainly for tests)."""
-    for f in fields(PerfCounters):
-        setattr(COUNTERS, f.name, 0)
+    for name in _COUNTER_NAMES:
+        setattr(COUNTERS, name, 0)

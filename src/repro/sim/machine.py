@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.mapping.base import Mapping
 from repro.sim.coherence import Block, CoherenceController
@@ -265,17 +266,32 @@ class Machine:
         measure = (
             self.config.measure_network_cycles if measure is None else measure
         )
-        for _ in range(warmup):
-            self.step()
+        # The per-cycle loop is the simulator's hottest path, so the
+        # instrumentation wraps the warmup/measurement windows rather
+        # than individual steps; cycle totals land on a registry counter.
+        with obs.span(
+            "sim.run",
+            warmup=warmup,
+            measure=measure,
+            nodes=self.torus.node_count,
+        ):
+            with obs.span("sim.warmup", cycles=warmup):
+                for _ in range(warmup):
+                    self.step()
 
-        idle_before = [p.idle_cycles for p in self.processors]
-        switches_before = sum(p.switch_count for p in self.processors)
-        self.stats.start_measuring(self._cycle, self.fabric.link_flits)
+            idle_before = [p.idle_cycles for p in self.processors]
+            switches_before = sum(p.switch_count for p in self.processors)
+            self.stats.start_measuring(self._cycle, self.fabric.link_flits)
 
-        for _ in range(measure):
-            self.step()
+            with obs.span("sim.measure", cycles=measure):
+                for _ in range(measure):
+                    self.step()
 
-        self.stats.stop_measuring(self._cycle)
+            self.stats.stop_measuring(self._cycle)
+        if obs.is_enabled():
+            obs.REGISTRY.counter(
+                "sim.cycles", help="network cycles stepped by Machine.run"
+            ).inc(warmup + measure)
         self.stats.idle_cycles = sum(
             p.idle_cycles - before
             for p, before in zip(self.processors, idle_before)

@@ -108,6 +108,10 @@ class Tracer:
         if kind not in self._kinds:
             return
         if len(self.events) == self.events.maxlen:
+            # The deque evicts the oldest event on append; count the
+            # loss so a full buffer is visible rather than silent.  The
+            # counter is monotonically increasing for the tracer's
+            # lifetime (never reset by queries or exports).
             self._dropped += 1
         self.events.append(
             TraceEvent(cycle=cycle, kind=kind, node=node, detail=detail)
@@ -136,8 +140,23 @@ class Tracer:
 
     @property
     def dropped_events(self) -> int:
-        """Events discarded because the ring buffer was full."""
+        """Events evicted because the ring buffer was full (monotonic)."""
         return self._dropped
+
+    def summary(self) -> Dict:
+        """Aggregate view: event counts, drops, and sampling coverage.
+
+        ``dropped_events`` is always present so eviction loss is never
+        silent: a non-zero value means the ring buffer overflowed and
+        ``events`` holds only the most recent ``capacity`` records.
+        """
+        return {
+            "events": len(self.events),
+            "by_kind": self.count_by_kind(),
+            "dropped_events": self._dropped,
+            "capacity": self.events.maxlen,
+            "samples": len(self.samples),
+        }
 
     def events_of(self, kind: str) -> List[TraceEvent]:
         return [event for event in self.events if event.kind == kind]

@@ -1,0 +1,18 @@
+"""Shared fixtures: observability state is process-global, so every
+test in this package runs against a clean, disabled state and restores
+it afterwards (other suites assume observability is off by default)."""
+
+import pytest
+
+from repro import obs, perf
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    perf.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    perf.reset()

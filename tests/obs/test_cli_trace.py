@@ -1,0 +1,60 @@
+"""CLI-level tests for ``--trace`` artifacts and ``diagnose``."""
+
+import json
+
+from repro.cli import main
+from repro.obs.manifest import RunManifest, git_revision, parameter_hash
+
+
+class TestTraceFlag:
+    def test_run_with_trace_writes_three_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        assert main(["run", "table-1", "--trace", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace written to" in stdout
+        assert "manifest written to" in stdout
+
+        with open(tmp_path / "out" / "trace.json") as handle:
+            document = json.load(handle)
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "experiment" in names
+        assert any(name.startswith("solver.") for name in names)
+
+        lines = (tmp_path / "out" / "trace.jsonl").read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+        manifest = RunManifest.load(str(tmp_path / "out" / "manifest.json"))
+        assert manifest.experiments == ["table-1"]
+        assert manifest.git_sha == git_revision() != "unknown"
+        assert manifest.parameter_hash == parameter_hash(manifest.parameters)
+        assert manifest.parameters["command"] == "run"
+        assert manifest.counters["batch_solves"] >= 1
+
+    def test_trace_accepts_alias(self, tmp_path):
+        out = str(tmp_path / "out")
+        assert main(["run", "table1", "--quick", "--trace", out]) == 0
+        manifest = RunManifest.load(str(tmp_path / "out" / "manifest.json"))
+        assert manifest.experiments == ["table-1"]
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "figure-7", "--quick"]) == 0
+        assert "trace written" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDiagnoseCommand:
+    def test_diagnose_reports_iterations_and_branches(self, capsys):
+        assert main(["diagnose", "table-1"]) == 0
+        out = capsys.readouterr().out
+        assert "== diagnose table-1 ==" in out
+        assert "bisection iterations" in out
+        assert "branches" in out
+        assert "flags" in out
+
+    def test_diagnose_accepts_alias_and_threshold(self, capsys):
+        assert main(["diagnose", "table1", "--threshold", "0.5"]) == 0
+        out = capsys.readouterr().out
+        # table-1 solves include rho > 0.5 points, so the lowered
+        # threshold must flag saturated operating points.
+        assert "solve(s) flagged" in out
+        assert "rho =" in out

@@ -1,0 +1,124 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(2)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(5)  # == bound: belongs to the <=5 bucket
+        assert histogram.counts == [0, 1, 0, 0]
+
+    def test_value_between_bounds_lands_in_upper_bucket(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(2)
+        assert histogram.counts == [0, 1, 0, 0]
+
+    def test_value_below_first_bound(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(0.5)
+        assert histogram.counts == [1, 0, 0, 0]
+
+    def test_overflow_slot(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(11)
+        histogram.observe(1e9)
+        assert histogram.counts == [0, 0, 0, 2]
+
+    def test_count_and_sum(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        for value in (0.5, 5, 11):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(16.5)
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=())
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(1, 5, 5))
+
+    def test_render_shows_every_bucket_and_overflow(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(1)
+        histogram.observe(3)
+        assert histogram.render() == "[<=1] 1 [<=2] 0 [>2] 1"
+
+    def test_reset_keeps_bounds(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(1.5)
+        histogram.reset()
+        assert histogram.buckets == (1.0, 2.0)
+        assert histogram.counts == [0, 0, 0]
+        assert histogram.count == 0 and histogram.sum == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ParameterError):
+            registry.gauge("x")
+        with pytest.raises(ParameterError):
+            registry.histogram("x", buckets=(1,))
+
+    def test_snapshot_is_json_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1, 2)).observe(1)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"type": "counter", "value": 2}
+        assert snapshot["g"] == {"type": "gauge", "value": 1.5}
+        assert snapshot["h"]["counts"] == [1, 0, 0]
+        assert snapshot["h"]["buckets"] == [1.0, 2.0]
+
+    def test_merge_counters_adds(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(1)
+        registry.merge_counters({"a": 4, "b": 2})
+        assert registry.counter("a").value == 5
+        assert registry.counter("b").value == 2
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        registry.reset()
+        assert registry.names() == ["c"]
+        assert registry.counter("c").value == 0

@@ -81,6 +81,36 @@ class TestEventCapture:
         assert len(tracer.events) == 50
         assert tracer.dropped_events > 0
 
+    def test_drop_count_is_monotonic_and_exact(self):
+        tracer = Tracer(kinds=["message_sent"], capacity=3)
+        for cycle in range(10):
+            tracer.record("message_sent", cycle, node=0)
+        # 10 appends into a 3-slot ring: exactly 7 evictions.
+        assert tracer.dropped_events == 7
+        # Queries and exports never reset the counter.
+        tracer.count_by_kind()
+        tracer.events_of("message_sent")
+        assert tracer.dropped_events == 7
+        tracer.record("message_sent", 10, node=0)
+        assert tracer.dropped_events == 8
+
+    def test_filtered_events_do_not_count_as_drops(self):
+        tracer = Tracer(kinds=["message_sent"], capacity=2)
+        for cycle in range(5):
+            tracer.record("cache_hit", cycle, node=0)  # filtered out
+        assert tracer.dropped_events == 0
+
+    def test_summary_reports_drops(self):
+        tracer = Tracer(kinds=["message_sent"], capacity=4)
+        for cycle in range(6):
+            tracer.record("message_sent", cycle, node=0)
+        summary = tracer.summary()
+        assert summary["events"] == 4
+        assert summary["dropped_events"] == 2
+        assert summary["capacity"] == 4
+        assert summary["by_kind"] == {"message_sent": 4}
+        assert summary["samples"] == 0
+
 
 class TestSampling:
     def test_periodic_samples(self):
