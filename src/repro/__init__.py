@@ -48,7 +48,13 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
-from repro.mapping import Mapping, average_distance, paper_mapping_suite
+from repro.mapping import (
+    Mapping,
+    anneal_chains,
+    anneal_mapping,
+    average_distance,
+    paper_mapping_suite,
+)
 from repro.topology import Torus, random_traffic_distance
 from repro.units import ALEWIFE_CLOCKS, EQUAL_CLOCKS, ClockDomain
 
@@ -73,6 +79,8 @@ __all__ = [
     "Mapping",
     "average_distance",
     "paper_mapping_suite",
+    "anneal_mapping",
+    "anneal_chains",
     # clocks
     "ClockDomain",
     "ALEWIFE_CLOCKS",

@@ -10,6 +10,9 @@ Subcommands:
 * ``diagnose <id>`` — run one experiment with solver convergence
   diagnostics on and report per-solve iteration counts, branch
   selection, and flagged (near-non-convergent or saturated) solves;
+* ``anneal [--pattern NAME] [--chains R] [--jobs N] ...`` — multi-chain
+  annealing search for a low-distance mapping of a communication
+  pattern onto a torus;
 * ``gain --processors N [--contexts P] [--slowdown F]`` — one-off
   expected-gain query against the calibrated Alewife system.
 
@@ -116,6 +119,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.95)",
     )
 
+    anneal_parser = subparsers.add_parser(
+        "anneal",
+        help="multi-chain annealing search for a low-distance mapping",
+    )
+    anneal_parser.add_argument(
+        "--pattern", default="torus-neighbor", metavar="NAME",
+        help="communication pattern: torus-neighbor, 9pt-stencil, ring, "
+        "butterfly, star, all-to-all (default: torus-neighbor)",
+    )
+    anneal_parser.add_argument(
+        "--radix", type=int, default=8, metavar="K",
+        help="torus radix k (default: 8)",
+    )
+    anneal_parser.add_argument(
+        "--dimensions", type=int, default=2, metavar="N",
+        help="torus dimensions n (default: 2)",
+    )
+    anneal_parser.add_argument(
+        "--chains", type=int, default=4, metavar="R",
+        help="independent restart chains (default: 4)",
+    )
+    anneal_parser.add_argument(
+        "--steps", type=int, default=5000, metavar="S",
+        help="annealing steps per chain (default: 5000)",
+    )
+    anneal_parser.add_argument("--seed", type=int, default=0)
+    anneal_parser.add_argument(
+        "--temperature", type=float, default=2.0,
+        help="initial temperature (default: 2.0)",
+    )
+    anneal_parser.add_argument(
+        "--cooling", type=float, default=0.999,
+        help="geometric cooling factor in (0, 1) (default: 0.999)",
+    )
+    anneal_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the chains (default: 1, batched "
+        "lockstep in-process)",
+    )
+
     gain_parser = subparsers.add_parser(
         "gain", help="expected locality gain for one machine configuration"
     )
@@ -202,6 +245,55 @@ def _command_diagnose(identifier: str, quick: bool, threshold: float) -> int:
     return 0
 
 
+def _command_anneal(args) -> int:
+    from repro.experiments.locality_search import pattern_graph
+    from repro.mapping.chains import anneal_chains
+    from repro.mapping.strategies import random_mapping
+    from repro.topology.torus import Torus
+
+    from repro.errors import ReproError
+
+    try:
+        torus = Torus(radix=args.radix, dimensions=args.dimensions)
+        graph = pattern_graph(args.pattern, args.radix, args.dimensions)
+        start = random_mapping(torus.node_count, seed=args.seed)
+        search = anneal_chains(
+            graph,
+            torus,
+            start,
+            chains=args.chains,
+            steps=args.steps,
+            seed=args.seed,
+            initial_temperature=args.temperature,
+            cooling=args.cooling,
+            jobs=args.jobs,
+        )
+    except ReproError as exc:
+        print(f"anneal failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.pattern} on the {torus.node_count}-node "
+        f"radix-{args.radix} {args.dimensions}-D torus: "
+        f"{args.chains} chains x {args.steps} steps"
+    )
+    for index, result in enumerate(search.results):
+        marker = " <- best" if index == search.best_index else ""
+        print(
+            f"chain {index} (seed {search.seeds[index]}): "
+            f"{result.initial_distance:.3f} -> {result.best_distance:.3f} "
+            f"hops ({result.accepted_moves}/{result.attempted_moves} "
+            f"moves accepted){marker}"
+        )
+    best = search.best
+    print(
+        f"best: {best.best_distance:.3f} hops "
+        f"(chain {search.best_index}, "
+        f"{100 * (1 - best.best_distance / best.initial_distance):.1f}% "
+        "below the random start)"
+    )
+    return 0
+
+
 def _command_gain(processors: float, contexts: float, slowdown: float) -> int:
     system = alewife_system(contexts=contexts).with_network_slowdown(slowdown)
     result = system.expected_gain(processors)
@@ -268,6 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code
     if args.command == "diagnose":
         return _command_diagnose(args.experiment, args.quick, args.threshold)
+    if args.command == "anneal":
+        return _command_anneal(args)
     if args.command == "gain":
         return _command_gain(args.processors, args.contexts, args.slowdown)
     if args.command == "report":

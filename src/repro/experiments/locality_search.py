@@ -1,0 +1,168 @@
+"""Locality search: multi-chain annealing across communication patterns.
+
+The paper's mappings are hand-constructed; this experiment asks the
+complementary question a locality-aware runtime faces: *starting from a
+locality-ignorant (random) placement, how much average communication
+distance can search recover on each kind of application?*  For a suite
+of communication graphs on the Section 3 machine (the radix-8 2-D
+torus), it runs :func:`repro.mapping.chains.anneal_chains` — independent
+annealing restarts priced against the shared distance table — and
+compares the recovered distance to the random start, the Eq 17
+random-traffic expectation, and the pattern's structural floor (the
+identity placement, which for torus-shaped patterns is the paper's ideal
+single-hop mapping).
+
+Patterns with real physical locality (torus neighbors, stencils, rings)
+anneal back to within a few percent of their floor; structureless
+patterns (all-to-all, star) barely move — Section 2.1's point that ``d``
+is a property of *application structure*, exploitable only when the
+structure exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro import obs
+from repro.errors import ParameterError
+from repro.analysis.tables import render_table
+from repro.experiments.result import ExperimentResult
+from repro.mapping.chains import anneal_chains
+from repro.mapping.evaluate import average_distance
+from repro.mapping.strategies import identity_mapping, random_mapping
+from repro.topology.distance import random_traffic_distance_exact
+from repro.topology.graphs import (
+    CommunicationGraph,
+    all_to_all_graph,
+    butterfly_exchange_graph,
+    nine_point_stencil_graph,
+    ring_graph,
+    star_graph,
+    torus_neighbor_graph,
+)
+from repro.topology.torus import Torus
+
+__all__ = ["run", "PATTERNS", "pattern_graph"]
+
+RADIX = 8
+DIMENSIONS = 2
+SEED = 1992
+
+#: The communication patterns searched, name -> constructor (on N=64).
+PATTERNS: Dict[str, Callable[[], CommunicationGraph]] = {
+    "torus-neighbor": lambda: torus_neighbor_graph(RADIX, DIMENSIONS),
+    "9pt-stencil": lambda: nine_point_stencil_graph(RADIX, RADIX),
+    "ring": lambda: ring_graph(RADIX**DIMENSIONS),
+    "butterfly": lambda: butterfly_exchange_graph(RADIX**DIMENSIONS),
+    "star": lambda: star_graph(RADIX**DIMENSIONS),
+    "all-to-all": lambda: all_to_all_graph(RADIX**DIMENSIONS),
+}
+
+
+def pattern_graph(name: str, radix: int, dimensions: int) -> CommunicationGraph:
+    """One of the named communication patterns on a ``k^n``-node machine.
+
+    Used by the ``repro-locality anneal`` subcommand to parameterize the
+    patterns above beyond the default 64-node machine.  The 9-point
+    stencil requires a 2-D machine (its threads form a ``k x k`` grid).
+    """
+    nodes = radix**dimensions
+    builders: Dict[str, Callable[[], CommunicationGraph]] = {
+        "torus-neighbor": lambda: torus_neighbor_graph(radix, dimensions),
+        "9pt-stencil": lambda: nine_point_stencil_graph(radix, radix),
+        "ring": lambda: ring_graph(nodes),
+        "butterfly": lambda: butterfly_exchange_graph(nodes),
+        "star": lambda: star_graph(nodes),
+        "all-to-all": lambda: all_to_all_graph(nodes),
+    }
+    if name not in builders:
+        raise ParameterError(
+            f"unknown pattern {name!r}; known: {sorted(builders)}"
+        )
+    if name == "9pt-stencil" and dimensions != 2:
+        raise ParameterError("9pt-stencil needs a 2-D machine")
+    return builders[name]()
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Anneal every pattern from a random start; tabulate the recovery."""
+    torus = Torus(radix=RADIX, dimensions=DIMENSIONS)
+    nodes = torus.node_count
+    chains = 2 if quick else 4
+    steps = 1500 if quick else 6000
+    start = random_mapping(nodes, seed=SEED)
+    eq17 = random_traffic_distance_exact(RADIX, DIMENSIONS)
+
+    rows: List[Tuple] = []
+    data: Dict[str, Dict[str, float]] = {}
+    with obs.span(
+        "experiment.locality_search", patterns=len(PATTERNS), chains=chains,
+        steps=steps,
+    ):
+        for name, build in PATTERNS.items():
+            graph = build()
+            floor = average_distance(graph, identity_mapping(nodes), torus)
+            search = anneal_chains(
+                graph,
+                torus,
+                start,
+                chains=chains,
+                steps=steps,
+                seed=SEED,
+            )
+            best = search.best
+            recovered = (
+                (best.initial_distance - best.best_distance)
+                / (best.initial_distance - floor)
+                if best.initial_distance > floor
+                else 0.0
+            )
+            rows.append(
+                (
+                    name,
+                    round(floor, 2),
+                    round(best.initial_distance, 2),
+                    round(best.best_distance, 2),
+                    f"{100 * recovered:.0f}%",
+                    search.best_index,
+                )
+            )
+            data[name] = {
+                "floor": floor,
+                "random": best.initial_distance,
+                "annealed": best.best_distance,
+                "recovered": recovered,
+                "chain_distances": list(search.distances),
+            }
+
+    table = render_table(
+        [
+            "pattern",
+            "d identity",
+            "d random",
+            "d annealed",
+            "recovered",
+            "best chain",
+        ],
+        rows,
+        title=(
+            f"Multi-chain annealing ({chains} chains x {steps} steps) on "
+            f"the {nodes}-node radix-{RADIX} torus "
+            f"(Eq 17 random expectation: {eq17:.2f} hops)"
+        ),
+    )
+    return ExperimentResult(
+        experiment="locality-search",
+        title="Recoverable locality by communication pattern",
+        tables=[table],
+        notes=[
+            "Patterns whose structure embeds in the torus (neighbors, "
+            "stencils, rings) anneal from the Eq 17 random plateau back "
+            "toward single-hop distances; structureless patterns "
+            "(all-to-all, star) have nothing for placement to exploit — "
+            "the operational meaning of physical locality in Section 2.1.",
+            "All chains share one cached distance table; restarts differ "
+            "only in their seed, and the best chain is reported.",
+        ],
+        data=data,
+    )

@@ -36,6 +36,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    locality_search,
     organizations,
     scaling_sim,
     table1,
@@ -63,6 +64,7 @@ REGISTRY: Dict[str, Runner] = {
     "figure-8": fig8.run,
     "table-1": table1.run,
     "ucl-vs-nucl": ucl_nucl.run,
+    "locality-search": locality_search.run,
     "organizations": organizations.run,
     "scaling-sim": scaling_sim.run,
     "ablation-feedback": ablations.run_feedback,

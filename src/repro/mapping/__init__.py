@@ -2,6 +2,8 @@
 
 from repro.mapping.anneal import AnnealResult, anneal_mapping
 from repro.mapping.base import Mapping
+from repro.mapping.chains import MultiChainResult, anneal_chains
+from repro.mapping.engine import SwapEngine
 from repro.mapping.evaluate import (
     MappingEvaluation,
     average_distance,
@@ -41,6 +43,9 @@ __all__ = [
     "maximize_distance",
     "AnnealResult",
     "anneal_mapping",
+    "MultiChainResult",
+    "anneal_chains",
+    "SwapEngine",
     "recursive_bisection_mapping",
     "identity_mapping",
     "random_mapping",

@@ -5,6 +5,20 @@ local optimum; annealing escapes shallow ones by accepting worsening
 swaps with probability ``exp(-delta / T)`` under a geometric cooling
 schedule.  Deterministic for a given seed, like everything else in the
 mapping package.
+
+Swap deltas are priced by the vectorized :class:`repro.mapping.engine.SwapEngine`
+(distance-table gathers over precomputed per-thread adjacency arrays)
+instead of per-neighbor ``torus.distance`` calls; for integer edge
+weights — every built-in graph — accept/reject decisions, the best
+assignment, and all counters are bit-identical to the loop-based
+reference implementation (:mod:`repro.mapping.reference`), which the
+property tests enforce seed for seed.
+
+Cooling semantics: the temperature decays once per *drawn* step, so the
+schedule always spans exactly ``steps`` decays — including on draws
+where both threads coincide and no swap is attempted.  Those skipped
+draws are reported separately (``skipped_moves``) and excluded from
+``attempted_moves``, which counts real swap attempts only.
 """
 
 from __future__ import annotations
@@ -13,9 +27,12 @@ import math
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import obs
 from repro.errors import MappingError
 from repro.mapping.base import Mapping
+from repro.mapping.engine import SwapEngine, check_sizes
 from repro.mapping.evaluate import average_distance
 from repro.topology.graphs import CommunicationGraph
 from repro.topology.torus import Torus
@@ -25,7 +42,13 @@ __all__ = ["AnnealResult", "anneal_mapping"]
 
 @dataclass(frozen=True)
 class AnnealResult:
-    """Outcome of an annealing run."""
+    """Outcome of an annealing run.
+
+    ``attempted_moves`` counts real swap attempts; draws that picked the
+    same thread twice are tallied in ``skipped_moves`` instead (the two
+    always sum to the requested ``steps``).  Temperature decays on every
+    drawn step, skipped or not — see the module docstring.
+    """
 
     mapping: Mapping
     distance: float
@@ -33,6 +56,16 @@ class AnnealResult:
     best_distance: float
     accepted_moves: int
     attempted_moves: int
+    skipped_moves: int = 0
+
+
+def _check_schedule(initial_temperature: float, cooling: float) -> None:
+    if not 0.0 < cooling < 1.0:
+        raise MappingError(f"cooling must lie in (0, 1), got {cooling!r}")
+    if not initial_temperature > 0:
+        raise MappingError(
+            f"initial_temperature must be positive, got {initial_temperature!r}"
+        )
 
 
 def anneal_mapping(
@@ -52,55 +85,26 @@ def anneal_mapping(
         Starting temperature in units of *weighted hop-sum* delta; around
         the magnitude of a typical single-swap delta works well.
     cooling:
-        Geometric decay applied per attempted move; must lie in (0, 1).
+        Geometric decay applied per drawn step; must lie in (0, 1).
 
     Returns the best mapping encountered (not merely the final state).
     """
-    initial.require_bijective()
-    if initial.threads != graph.threads:
-        raise MappingError(
-            f"mapping covers {initial.threads} threads but graph has "
-            f"{graph.threads}"
-        )
-    if initial.processors != torus.node_count:
-        raise MappingError(
-            f"mapping targets {initial.processors} processors but torus "
-            f"has {torus.node_count} nodes"
-        )
-    if steps < 0:
-        raise MappingError(f"steps must be >= 0, got {steps!r}")
-    if not 0.0 < cooling < 1.0:
-        raise MappingError(f"cooling must lie in (0, 1), got {cooling!r}")
-    if not initial_temperature > 0:
-        raise MappingError(
-            f"initial_temperature must be positive, got {initial_temperature!r}"
-        )
+    check_sizes(graph, torus, initial, steps)
+    _check_schedule(initial_temperature, cooling)
+    if graph.total_weight == 0.0:
+        raise MappingError("communication graph has no edges")
 
-    adjacency = [[] for _ in range(graph.threads)]
-    for src, dst, weight in graph.edges():
-        adjacency[src].append((dst, weight))
-        adjacency[dst].append((src, weight))
-    total_weight = graph.total_weight
-    assignment = list(initial.assignment)
+    engine = SwapEngine(graph, torus)
+    position = np.array(initial.assignment, dtype=np.intp)
     generator = random.Random(seed)
 
-    def local_cost(thread: int, other: int) -> float:
-        here = assignment[thread]
-        cost = 0.0
-        for neighbor, weight in adjacency[thread]:
-            if neighbor == other:
-                continue
-            cost += weight * torus.distance(here, assignment[neighbor])
-        return cost
-
-    current_sum = 0.0
-    for src, dst, weight in graph.edges():
-        current_sum += weight * torus.distance(assignment[src], assignment[dst])
+    current_sum = engine.weighted_hop_sum(position)
     best_sum = current_sum
-    best_assignment = tuple(assignment)
+    best_position = position.copy()
 
     temperature = initial_temperature
     accepted = 0
+    attempted = 0
     threads = graph.threads
     with obs.span(
         "mapping.anneal", steps=steps, threads=threads, seed=seed
@@ -111,13 +115,8 @@ def anneal_mapping(
             thread_b = generator.randrange(threads)
             if thread_a == thread_b:
                 continue
-            before = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-            assignment[thread_a], assignment[thread_b] = (
-                assignment[thread_b],
-                assignment[thread_a],
-            )
-            after = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-            delta = after - before
+            attempted += 1
+            delta = engine.swap_delta(position, thread_a, thread_b)
             accept = delta < 0 or (
                 temperature > 1e-12
                 and generator.random() < math.exp(-delta / temperature)
@@ -125,29 +124,35 @@ def anneal_mapping(
             if accept:
                 accepted += 1
                 current_sum += delta
+                position[thread_a], position[thread_b] = (
+                    position[thread_b],
+                    position[thread_a],
+                )
                 if current_sum < best_sum:
                     best_sum = current_sum
-                    best_assignment = tuple(assignment)
-            else:
-                assignment[thread_a], assignment[thread_b] = (
-                    assignment[thread_b],
-                    assignment[thread_a],
-                )
+                    best_position = position.copy()
 
     if obs.is_enabled():
         obs.REGISTRY.counter(
             "anneal.attempted_moves", help="annealing swap attempts"
-        ).inc(steps)
+        ).inc(attempted)
+        obs.REGISTRY.counter(
+            "anneal.skipped_moves", help="same-thread draws discarded"
+        ).inc(steps - attempted)
         obs.REGISTRY.counter(
             "anneal.accepted_moves", help="annealing swaps accepted"
         ).inc(accepted)
 
-    final = Mapping(assignment=best_assignment, processors=initial.processors)
+    final = Mapping(
+        assignment=tuple(int(p) for p in best_position),
+        processors=initial.processors,
+    )
     return AnnealResult(
         mapping=final,
-        distance=best_sum / total_weight,
+        distance=float(best_sum) / engine.total_weight,
         initial_distance=average_distance(graph, initial, torus),
-        best_distance=best_sum / total_weight,
+        best_distance=float(best_sum) / engine.total_weight,
         accepted_moves=accepted,
-        attempted_moves=steps,
+        attempted_moves=attempted,
+        skipped_moves=steps - attempted,
     )

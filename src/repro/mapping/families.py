@@ -63,6 +63,13 @@ def paper_mapping_suite(
     if graph is None:
         graph = torus_neighbor_graph(torus.radix, torus.dimensions)
 
+    # Warm the shared distance table once up front: every candidate's
+    # average_distance and the adversarial hill-climb below are gathers
+    # against it (suite construction used to be dominated by per-edge
+    # torus.distance calls).  A torus above the memory guard returns
+    # None here and the same calls fall back to on-the-fly distances.
+    torus.distance_table()
+
     candidates: List[NamedMapping] = []
 
     def add(name: str, mapping: Mapping) -> None:

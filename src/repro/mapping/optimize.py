@@ -13,7 +13,12 @@ mapping's average communication distance in either direction:
 
 The climber is deterministic given its seed: swap candidates come from a
 :class:`random.Random` stream and a swap is kept only if it strictly
-improves the objective, so results are reproducible across runs.
+improves the objective, so results are reproducible across runs.  Swap
+deltas are priced by the vectorized :class:`repro.mapping.engine.SwapEngine`
+(distance-table gathers over precomputed per-thread adjacency arrays);
+for integer edge weights the accepted swaps and final mapping are
+bit-identical to the loop-based reference in
+:mod:`repro.mapping.reference`.
 """
 
 from __future__ import annotations
@@ -21,8 +26,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.errors import MappingError
+import numpy as np
+
 from repro.mapping.base import Mapping
+from repro.mapping.engine import SwapEngine, check_sizes
 from repro.mapping.evaluate import average_distance
 from repro.topology.graphs import CommunicationGraph
 from repro.topology.torus import Torus
@@ -41,15 +48,6 @@ class OptimizationResult:
     attempted_swaps: int
 
 
-def _edge_weight_table(graph: CommunicationGraph):
-    """Per-thread adjacency for fast incremental distance deltas."""
-    adjacency = [[] for _ in range(graph.threads)]
-    for src, dst, weight in graph.edges():
-        adjacency[src].append((dst, weight))
-        adjacency[dst].append((src, weight))
-    return adjacency
-
-
 def optimize_mapping(
     graph: CommunicationGraph,
     torus: Torus,
@@ -64,42 +62,12 @@ def optimize_mapping(
     average communication distance, minimized by default.  Works on
     bijective mappings (swapping is only well-defined there).
     """
-    initial.require_bijective()
-    if initial.threads != graph.threads:
-        raise MappingError(
-            f"mapping covers {initial.threads} threads but graph has "
-            f"{graph.threads}"
-        )
-    if initial.processors != torus.node_count:
-        raise MappingError(
-            f"mapping targets {initial.processors} processors but torus has "
-            f"{torus.node_count} nodes"
-        )
-    if steps < 0:
-        raise MappingError(f"steps must be >= 0, got {steps!r}")
+    check_sizes(graph, torus, initial, steps)
 
-    adjacency = _edge_weight_table(graph)
-    total_weight = graph.total_weight
-    assignment = list(initial.assignment)
+    engine = SwapEngine(graph, torus)
+    position = np.array(initial.assignment, dtype=np.intp)
     generator = random.Random(seed)
-
-    def local_cost(thread: int, other: int) -> float:
-        """Weighted hops of edges incident to ``thread``, skipping ``other``.
-
-        Edges between the two swapped threads are invariant under the
-        swap (both endpoints move), so they are excluded from the delta.
-        """
-        here = assignment[thread]
-        cost = 0.0
-        for neighbor, weight in adjacency[thread]:
-            if neighbor == other:
-                continue
-            cost += weight * torus.distance(here, assignment[neighbor])
-        return cost
-
-    current_sum = 0.0
-    for src, dst, weight in graph.edges():
-        current_sum += weight * torus.distance(assignment[src], assignment[dst])
+    current_sum = engine.weighted_hop_sum(position)
 
     accepted = 0
     threads = graph.threads
@@ -108,27 +76,23 @@ def optimize_mapping(
         thread_b = generator.randrange(threads)
         if thread_a == thread_b:
             continue
-        before = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-        assignment[thread_a], assignment[thread_b] = (
-            assignment[thread_b],
-            assignment[thread_a],
-        )
-        after = local_cost(thread_a, thread_b) + local_cost(thread_b, thread_a)
-        delta = after - before
+        delta = engine.swap_delta(position, thread_a, thread_b)
         improved = delta > 0 if maximize else delta < 0
         if improved:
             accepted += 1
             current_sum += delta
-        else:
-            assignment[thread_a], assignment[thread_b] = (
-                assignment[thread_b],
-                assignment[thread_a],
+            position[thread_a], position[thread_b] = (
+                position[thread_b],
+                position[thread_a],
             )
 
-    final = Mapping(assignment=tuple(assignment), processors=initial.processors)
+    final = Mapping(
+        assignment=tuple(int(p) for p in position),
+        processors=initial.processors,
+    )
     return OptimizationResult(
         mapping=final,
-        distance=current_sum / total_weight,
+        distance=float(current_sum) / engine.total_weight,
         initial_distance=average_distance(graph, initial, torus),
         accepted_swaps=accepted,
         attempted_swaps=steps,

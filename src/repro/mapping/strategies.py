@@ -13,9 +13,26 @@ import math
 import random
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import MappingError
 from repro.mapping.base import Mapping
 from repro.topology.torus import Torus
+
+
+def _mapping_from_coords(torus: Torus, coords: np.ndarray) -> Mapping:
+    """Mapping whose thread ``i`` lands on the node at ``coords[:, i]``.
+
+    The inverse of :meth:`Torus.coordinate_array`: node ids are rebuilt
+    as base-``k`` digits (dimension 0 least significant), vectorized.
+    """
+    nodes = np.zeros(coords.shape[1], dtype=np.int64)
+    for dim in reversed(range(torus.dimensions)):
+        nodes = nodes * torus.radix + coords[dim]
+    return Mapping(
+        assignment=tuple(int(node) for node in nodes),
+        processors=torus.node_count,
+    )
 
 __all__ = [
     "identity_mapping",
@@ -81,15 +98,9 @@ def dimension_scale_mapping(torus: Torus, multipliers: Sequence[int]) -> Mapping
                 f"multiplier {multiplier} shares a factor with radix "
                 f"{torus.radix}; the mapping would not be a bijection"
             )
-    assignment = []
-    for node in torus.nodes():
-        coords = torus.coordinates(node)
-        scaled = [
-            (multiplier * coord) % torus.radix
-            for multiplier, coord in zip(multipliers, coords)
-        ]
-        assignment.append(torus.node_at(scaled))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    coords = torus.coordinate_array()
+    factors = np.asarray(multipliers, dtype=np.int64)[:, None]
+    return _mapping_from_coords(torus, (factors * coords) % torus.radix)
 
 
 def transpose_mapping(torus: Torus) -> Mapping:
@@ -99,11 +110,7 @@ def transpose_mapping(torus: Torus) -> Mapping:
     preserves single-hop communication — useful as a "different but still
     ideal" mapping in tests.
     """
-    assignment = []
-    for node in torus.nodes():
-        coords = torus.coordinates(node)
-        assignment.append(torus.node_at(tuple(reversed(coords))))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    return _mapping_from_coords(torus, torus.coordinate_array()[::-1])
 
 
 def bit_reversal_mapping(torus: Torus) -> Mapping:
@@ -126,11 +133,8 @@ def bit_reversal_mapping(torus: Torus) -> Mapping:
             value >>= 1
         return result
 
-    assignment = []
-    for node in torus.nodes():
-        coords = torus.coordinates(node)
-        assignment.append(torus.node_at(tuple(reverse(c) for c in coords)))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    lookup = np.array([reverse(value) for value in range(radix)], dtype=np.int64)
+    return _mapping_from_coords(torus, lookup[torus.coordinate_array()])
 
 
 def shear_mapping(torus: Torus, factor: int = 1) -> Mapping:
@@ -142,12 +146,9 @@ def shear_mapping(torus: Torus, factor: int = 1) -> Mapping:
     """
     if torus.dimensions < 2:
         raise MappingError("shear_mapping needs at least two dimensions")
-    assignment = []
-    for node in torus.nodes():
-        coords = list(torus.coordinates(node))
-        coords[0] = (coords[0] + factor * coords[1]) % torus.radix
-        assignment.append(torus.node_at(coords))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    coords = np.array(torus.coordinate_array(), dtype=np.int64)
+    coords[0] = (coords[0] + factor * coords[1]) % torus.radix
+    return _mapping_from_coords(torus, coords)
 
 
 def block_collocation_mapping(threads: int, processors: int) -> Mapping:
@@ -206,14 +207,8 @@ def gray_code_mapping(torus: Torus) -> Mapping:
             f"gray_code_mapping needs a power-of-two radix, got {radix}"
         )
 
-    def gray(value: int) -> int:
-        return value ^ (value >> 1)
-
-    assignment = []
-    for node in torus.nodes():
-        coords = torus.coordinates(node)
-        assignment.append(torus.node_at(tuple(gray(c) for c in coords)))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    coords = np.asarray(torus.coordinate_array(), dtype=np.int64)
+    return _mapping_from_coords(torus, coords ^ (coords >> 1))
 
 
 def rotation_mapping(torus: Torus, offsets: Sequence[int]) -> Mapping:
@@ -227,12 +222,6 @@ def rotation_mapping(torus: Torus, offsets: Sequence[int]) -> Mapping:
         raise MappingError(
             f"expected {torus.dimensions} offsets, got {len(offsets)}"
         )
-    assignment = []
-    for node in torus.nodes():
-        coords = torus.coordinates(node)
-        shifted = [
-            (coord + offset) % torus.radix
-            for coord, offset in zip(coords, offsets)
-        ]
-        assignment.append(torus.node_at(shifted))
-    return Mapping(assignment=tuple(assignment), processors=torus.node_count)
+    coords = torus.coordinate_array()
+    shifts = np.asarray(offsets, dtype=np.int64)[:, None]
+    return _mapping_from_coords(torus, (coords + shifts) % torus.radix)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.topology.torus import Torus
 
@@ -81,6 +83,67 @@ class CommunicationGraph:
     def degree_out(self, thread: int) -> int:
         """Number of distinct destinations a thread sends to."""
         return sum(1 for _ in self.out_neighbors(thread))
+
+    # ------------------------------------------------------------------
+    # Array views (cached; the graph is frozen so they never go stale).
+    # ------------------------------------------------------------------
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, weight)`` ndarrays over all edges, in edge order.
+
+        Edge order is the (deterministic) insertion order of ``weights``;
+        the arrays are read-only and built once per graph instance.  This
+        is the gather-friendly view the vectorized evaluation and
+        annealing kernels index the torus distance table with.
+        """
+        cached = self.__dict__.get("_edge_arrays")
+        if cached is None:
+            count = len(self.weights)
+            src = np.empty(count, dtype=np.intp)
+            dst = np.empty(count, dtype=np.intp)
+            weight = np.empty(count, dtype=np.float64)
+            for index, ((s, d), w) in enumerate(self.weights.items()):
+                src[index] = s
+                dst[index] = d
+                weight[index] = w
+            for array in (src, dst, weight):
+                array.setflags(write=False)
+            cached = (src, dst, weight)
+            object.__setattr__(self, "_edge_arrays", cached)
+        return cached
+
+    def incident_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Symmetrized per-thread adjacency in CSR form.
+
+        Returns ``(indptr, neighbors, weights)``: the threads incident to
+        edges touching thread ``t`` (either direction) are
+        ``neighbors[indptr[t]:indptr[t + 1]]`` with matching ``weights``.
+        Each directed edge contributes one entry to *both* endpoints'
+        rows, ordered by edge index within a row — exactly the adjacency
+        the swap optimizers need to price a move in two gathers.
+        """
+        cached = self.__dict__.get("_incident_csr")
+        if cached is None:
+            src, dst, weight = self.edge_arrays()
+            count = src.size
+            # Interleave (src, dst) per edge so a stable sort reproduces
+            # the edge-order-within-thread layout of an append loop.
+            owners = np.empty(2 * count, dtype=np.intp)
+            others = np.empty(2 * count, dtype=np.intp)
+            both = np.empty(2 * count, dtype=np.float64)
+            owners[0::2], owners[1::2] = src, dst
+            others[0::2], others[1::2] = dst, src
+            both[0::2], both[1::2] = weight, weight
+            order = np.argsort(owners, kind="stable")
+            neighbors = others[order]
+            weights = both[order]
+            indptr = np.zeros(self.threads + 1, dtype=np.intp)
+            np.cumsum(np.bincount(owners, minlength=self.threads), out=indptr[1:])
+            for array in (indptr, neighbors, weights):
+                array.setflags(write=False)
+            cached = (indptr, neighbors, weights)
+            object.__setattr__(self, "_incident_csr", cached)
+        return cached
 
     @classmethod
     def from_edges(

@@ -16,12 +16,50 @@ dimensions in increasing order, taking the shorter way around each ring
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import TopologyError
 
-__all__ = ["Torus"]
+__all__ = ["Torus", "DISTANCE_TABLE_MAX_NODES"]
+
+#: Largest torus (in nodes) for which :meth:`Torus.distance_table` will
+#: materialize the full N x N hop-distance table.  At the default cap the
+#: table costs ``2 * 4096**2`` bytes = 32 MiB (entries are int16); above
+#: it the table accessors return ``None`` and callers fall back to
+#: on-the-fly vectorized distances (:meth:`Torus.pairwise_distance`).
+DISTANCE_TABLE_MAX_NODES = 4096
+
+
+@functools.lru_cache(maxsize=64)
+def _coordinate_array(radix: int, dimensions: int) -> np.ndarray:
+    """Per-dimension coordinates of every node: shape (n, N), read-only."""
+    count = radix**dimensions
+    coords = np.empty((dimensions, count), dtype=np.int32)
+    remaining = np.arange(count, dtype=np.int64)
+    for dim in range(dimensions):
+        coords[dim] = remaining % radix
+        remaining //= radix
+    coords.setflags(write=False)
+    return coords
+
+
+@functools.lru_cache(maxsize=4)
+def _distance_table(radix: int, dimensions: int) -> np.ndarray:
+    """Full N x N torus hop-distance table, built per ring dimension."""
+    coords = _coordinate_array(radix, dimensions)
+    count = radix**dimensions
+    table = np.zeros((count, count), dtype=np.int16)
+    for dim in range(dimensions):
+        ring = coords[dim].astype(np.int16)
+        delta = np.abs(ring[:, None] - ring[None, :])
+        np.minimum(delta, radix - delta, out=delta)
+        table += delta
+    table.setflags(write=False)
+    return table
 
 
 @dataclass(frozen=True)
@@ -134,6 +172,57 @@ class Torus:
         return tuple(offsets)
 
     # ------------------------------------------------------------------
+    # Vectorized distance kernels.
+    # ------------------------------------------------------------------
+
+    def coordinate_array(self) -> np.ndarray:
+        """Read-only ``(dimensions, N)`` array of every node's coordinates.
+
+        ``coordinate_array()[j, i] == coordinates(i)[j]``; cached per
+        torus shape and shared between instances.
+        """
+        return _coordinate_array(self.radix, self.dimensions)
+
+    def distance_table(self, max_nodes: Optional[int] = None) -> Optional[np.ndarray]:
+        """The full ``N x N`` hop-distance table, or ``None`` if too big.
+
+        ``table[a, b] == distance(a, b)`` for every node pair; the array
+        is read-only, lazily built once per torus shape, and cached.  The
+        memory guard: tori with more than ``max_nodes`` nodes (default
+        :data:`DISTANCE_TABLE_MAX_NODES`) return ``None`` instead of
+        materializing the quadratic table — callers fall back to
+        :meth:`pairwise_distance`, which needs only O(pairs) memory.
+        """
+        cap = DISTANCE_TABLE_MAX_NODES if max_nodes is None else max_nodes
+        if self.node_count > cap:
+            return None
+        return _distance_table(self.radix, self.dimensions)
+
+    def pairwise_distance(self, sources, destinations) -> np.ndarray:
+        """Elementwise torus distances for arrays of node identifiers.
+
+        Broadcasts ``sources`` against ``destinations`` and returns the
+        hop distance of every pair without touching the N x N table, so
+        it works on tori of any size.  Matches :meth:`distance` exactly.
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(destinations, dtype=np.int64)
+        for name, nodes in (("sources", src), ("destinations", dst)):
+            if nodes.size and (nodes.min() < 0 or nodes.max() >= self.node_count):
+                raise TopologyError(
+                    f"{name} contain node ids outside 0..{self.node_count - 1}"
+                )
+        total = np.zeros(np.broadcast(src, dst).shape, dtype=np.int64)
+        src = src.copy()
+        dst = dst.copy()
+        for _ in range(self.dimensions):
+            delta = np.abs(src % self.radix - dst % self.radix)
+            total += np.minimum(delta, self.radix - delta)
+            src //= self.radix
+            dst //= self.radix
+        return total
+
+    # ------------------------------------------------------------------
     # Neighborhood and routes.
     # ------------------------------------------------------------------
 
@@ -203,12 +292,14 @@ class Torus:
 
         With ``include_self=False`` (the paper's convention: "nodes never
         send messages to themselves") the average runs over the
-        ``N * (N - 1)`` ordered pairs of distinct nodes.  Computed from
-        per-ring distance sums in O(k * n), not by pair enumeration.
+        ``N * (N - 1)`` ordered pairs of distinct nodes.  Computed in
+        closed form, not by ring or pair enumeration.
         """
         # Sum of ring distances from a fixed position to all k positions
-        # (including itself at 0) is the same for every position.
-        ring_sum = sum(self.ring_distance(0, other) for other in range(self.radix))
+        # (including itself at 0) is the same for every position:
+        # k**2 / 4 for even radix, (k**2 - 1) / 4 for odd — both are
+        # exactly floor(k**2 / 4).
+        ring_sum = self.radix * self.radix // 4
         nodes = self.node_count
         # Each dimension contributes ring_sum * k**(n-1) per source over
         # all destinations (the other dimensions range freely).

@@ -87,3 +87,93 @@ class TestAnnealing:
     def test_rejects_mismatched_sizes(self, torus, graph):
         with pytest.raises(MappingError):
             anneal_mapping(graph, torus, identity_mapping(8), steps=10)
+
+
+class TestMoveCounting:
+    """Regression: attempted_moves used to report the raw step count.
+
+    Same-thread draws never attempt a swap; they are now tallied in
+    ``skipped_moves``, with ``attempted + skipped == steps`` and the
+    cooling schedule still decaying once per drawn step (documented
+    behavior, so the temperature trajectory is unchanged).
+    """
+
+    def test_attempted_plus_skipped_equals_steps(self, torus, graph):
+        result = anneal_mapping(
+            graph, torus, random_mapping(16, seed=7), steps=3000, seed=1
+        )
+        assert result.attempted_moves + result.skipped_moves == 3000
+        # On 16 threads 1/16 of draws collide; with 3000 steps both
+        # counters are essentially certain to be nonzero.
+        assert result.skipped_moves > 0
+        assert result.attempted_moves < 3000
+        assert result.accepted_moves <= result.attempted_moves
+
+    def test_single_thread_skips_every_step(self):
+        # Degenerate machine: both draws always collide, so nothing is
+        # ever attempted — previously this reported 50 "attempts".
+        from repro.topology.graphs import ring_graph
+
+        torus = Torus(radix=2, dimensions=1)
+        graph = ring_graph(2)
+        result = anneal_mapping(
+            graph, torus, identity_mapping(2), steps=50, seed=0
+        )
+        assert result.attempted_moves + result.skipped_moves == 50
+        assert result.accepted_moves <= result.attempted_moves
+
+
+class TestReferenceParity:
+    """The vectorized annealer against the loop-based specification."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bit_identical_to_reference(self, torus, graph, seed):
+        from repro.mapping.reference import reference_anneal_mapping
+
+        start = random_mapping(16, seed=seed + 20)
+        fast = anneal_mapping(graph, torus, start, steps=1500, seed=seed)
+        slow = reference_anneal_mapping(
+            graph, torus, start, steps=1500, seed=seed
+        )
+        assert fast == slow
+
+    def test_parity_on_irregular_pattern(self, torus):
+        from repro.mapping.reference import reference_anneal_mapping
+        from repro.topology.graphs import star_graph
+
+        start = random_mapping(16, seed=8)
+        graph = star_graph(16)
+        fast = anneal_mapping(graph, torus, start, steps=800, seed=5)
+        slow = reference_anneal_mapping(graph, torus, start, steps=800, seed=5)
+        assert fast == slow
+
+    def test_memory_guard_fallback_is_identical(self, torus, graph):
+        # With the distance table forced off, the annealer must take the
+        # broadcast-distance fallback and still match bit for bit.
+        import repro.topology.torus as torus_module
+
+        start = random_mapping(16, seed=2)
+        with_table = anneal_mapping(graph, torus, start, steps=800, seed=3)
+        original = torus_module.DISTANCE_TABLE_MAX_NODES
+        torus_module.DISTANCE_TABLE_MAX_NODES = 1
+        try:
+            without_table = anneal_mapping(
+                graph, torus, start, steps=800, seed=3
+            )
+        finally:
+            torus_module.DISTANCE_TABLE_MAX_NODES = original
+        assert with_table == without_table
+
+    def test_hill_climber_matches_reference(self, torus, graph):
+        from repro.mapping.optimize import optimize_mapping
+        from repro.mapping.reference import reference_optimize_mapping
+
+        start = random_mapping(16, seed=9)
+        for maximize in (False, True):
+            fast = optimize_mapping(
+                graph, torus, start, steps=1000, seed=4, maximize=maximize
+            )
+            slow = reference_optimize_mapping(
+                graph, torus, start, steps=1000, seed=4, maximize=maximize
+            )
+            assert fast == slow
