@@ -8,7 +8,10 @@ from repro.analysis.fitting import (
 )
 from repro.analysis.compare import (
     ComparisonRow,
+    ModelSimComparison,
+    ModelSimRow,
     SystemComparison,
+    compare_model_to_replications,
     compare_systems,
 )
 from repro.analysis.export import data_to_json, records_to_csv, rows_to_csv
@@ -62,4 +65,7 @@ __all__ = [
     "ComparisonRow",
     "SystemComparison",
     "compare_systems",
+    "compare_model_to_replications",
+    "ModelSimRow",
+    "ModelSimComparison",
 ]

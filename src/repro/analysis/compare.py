@@ -5,6 +5,13 @@ performance obtained with two different machine configurations can be
 compared by computing the ratio of the aggregate performance obtained in
 each case."  :func:`compare_systems` does it across a range of
 communication distances and renders the ratio table.
+
+:func:`compare_model_to_replications` performs the other comparison the
+reproduction needs: analytical predictions against *replicated*
+simulator measurements (:mod:`repro.sim.replicate`), where each
+simulated point carries a 95% confidence half-width instead of being a
+bare number — so "the model matches" becomes a statement about the
+interval, not about one seed.
 """
 
 from __future__ import annotations
@@ -15,8 +22,16 @@ from typing import Dict, List, Sequence
 from repro.analysis.tables import render_table
 from repro.core.system import SystemModel
 from repro.errors import ParameterError
+from repro.sim.replicate import ReplicationResult
 
-__all__ = ["ComparisonRow", "SystemComparison", "compare_systems"]
+__all__ = [
+    "ComparisonRow",
+    "SystemComparison",
+    "compare_systems",
+    "ModelSimRow",
+    "ModelSimComparison",
+    "compare_model_to_replications",
+]
 
 
 @dataclass(frozen=True)
@@ -111,3 +126,114 @@ def compare_systems(
         candidate_label=candidate_label,
         rows=rows,
     )
+
+
+@dataclass(frozen=True)
+class ModelSimRow:
+    """One distance point: the model value against the replicated sim."""
+
+    distance: float
+    model: float
+    sim_mean: float
+    sim_std: float
+    sim_ci95: float
+    n: int
+
+    @property
+    def error(self) -> float:
+        """Model minus simulated mean (signed)."""
+        return self.model - self.sim_mean
+
+    @property
+    def relative_error(self) -> float:
+        return self.error / self.sim_mean if self.sim_mean else 0.0
+
+    @property
+    def within_ci(self) -> bool:
+        """Whether the model value lands inside the sim's 95% interval."""
+        return abs(self.error) <= self.sim_ci95
+
+
+@dataclass(frozen=True)
+class ModelSimComparison:
+    """A distance sweep of model predictions vs replicated measurements."""
+
+    metric: str
+    rows: List[ModelSimRow]
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(abs(row.relative_error) for row in self.rows)
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                round(row.distance, 2),
+                round(row.sim_mean, 2),
+                f"±{row.sim_ci95:.2f}",
+                round(row.model, 2),
+                f"{100 * row.relative_error:+.1f}%",
+                "yes" if row.within_ci else "no",
+            )
+            for row in self.rows
+        ]
+        n = self.rows[0].n if self.rows else 0
+        return render_table(
+            [
+                "d (hops)",
+                f"{self.metric} sim",
+                "95% CI",
+                f"{self.metric} model",
+                "error",
+                "in CI",
+            ],
+            table_rows,
+            title=f"Model vs simulation, {self.metric} ({n} seeds per point)",
+        )
+
+
+def compare_model_to_replications(
+    metric: str,
+    distances: Sequence[float],
+    model_values: Sequence[float],
+    replications: Sequence[ReplicationResult],
+) -> ModelSimComparison:
+    """Line up model predictions with replicated simulator runs.
+
+    ``replications[i]`` is the :func:`~repro.sim.replicate.run_replications`
+    result measured at ``distances[i]``; ``model_values[i]`` is the
+    model's prediction for the same point.  ``metric`` names any
+    :class:`~repro.sim.stats.MeasurementSummary` field (for example
+    ``mean_message_latency``).
+    """
+    if not distances:
+        raise ParameterError(
+            "compare_model_to_replications needs at least one point"
+        )
+    if not (len(distances) == len(model_values) == len(replications)):
+        raise ParameterError(
+            "distances, model_values, and replications must align: got "
+            f"{len(distances)}/{len(model_values)}/{len(replications)}"
+        )
+    rows = []
+    for distance, model_value, result in zip(
+        distances, model_values, replications
+    ):
+        aggregate = result.aggregates.get(metric)
+        if aggregate is None:
+            known = ", ".join(result.aggregates)
+            raise ParameterError(
+                f"metric {metric!r} not measured by the replications; "
+                f"known: {known}"
+            )
+        rows.append(
+            ModelSimRow(
+                distance=float(distance),
+                model=float(model_value),
+                sim_mean=aggregate.mean,
+                sim_std=aggregate.std,
+                sim_ci95=aggregate.ci95,
+                n=aggregate.n,
+            )
+        )
+    return ModelSimComparison(metric=metric, rows=rows)

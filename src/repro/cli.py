@@ -26,6 +26,15 @@ and wall time after each report — including partial counts (with a
 trace (``trace.json``, loadable in ``chrome://tracing`` / Perfetto), raw
 span records (``trace.jsonl``), and a provenance manifest
 (``manifest.json``) into ``DIR``.
+
+A second console script, ``repro-sim`` (:func:`sim_main`), fronts the
+cycle-level simulator directly:
+
+* ``replicate`` — run one machine configuration under several root
+  seeds (optionally across a process pool with ``--jobs``) and print
+  mean / std / 95% CI for every measured metric; ``--json FILE`` dumps
+  the per-seed summaries and aggregates, ``--trace DIR`` writes the
+  usual trace + manifest with the replication seeds recorded.
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ from repro.experiments.runner import (
     run_experiment,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "sim_main", "build_sim_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,6 +338,185 @@ def _write_trace_outputs(args, experiments: List[str]) -> None:
     print(f"trace written to {paths['trace']}")
     print(f"spans written to {paths['spans']}")
     print(f"manifest written to {paths['manifest']}")
+
+
+def build_sim_parser() -> argparse.ArgumentParser:
+    """The repro-sim argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Cycle-level simulator front end (multi-seed replication)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="run one machine configuration under several root seeds",
+    )
+    replicate.add_argument(
+        "--radix", type=int, default=8, metavar="K",
+        help="torus radix k (default: 8)",
+    )
+    replicate.add_argument(
+        "--dimensions", type=int, default=2, metavar="N",
+        help="torus dimensions n (default: 2)",
+    )
+    replicate.add_argument(
+        "--contexts", type=int, default=2, metavar="P",
+        help="hardware contexts per processor (default: 2)",
+    )
+    replicate.add_argument(
+        "--switching", choices=("cut_through", "wormhole"),
+        default="cut_through",
+        help="switch architecture (default: cut_through)",
+    )
+    replicate.add_argument(
+        "--mapping", choices=("identity", "random"), default="random",
+        help="thread placement (default: random)",
+    )
+    replicate.add_argument(
+        "--seeds", type=int, default=3, metavar="R",
+        help="number of replications (default: 3)",
+    )
+    replicate.add_argument(
+        "--root-seed", type=int, default=None, metavar="S",
+        help="first replication seed (default: the config default, 1992)",
+    )
+    replicate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the replications (default: 1, serial)",
+    )
+    replicate.add_argument(
+        "--warmup", type=int, default=None, metavar="CYCLES",
+        help="warmup window override, network cycles",
+    )
+    replicate.add_argument(
+        "--measure", type=int, default=None, metavar="CYCLES",
+        help="measurement window override, network cycles",
+    )
+    replicate.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write per-seed summaries and aggregates as JSON",
+    )
+    replicate.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="enable observability; write Chrome trace + manifest to DIR",
+    )
+    return parser
+
+
+def _command_replicate(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.mapping.strategies import identity_mapping, random_mapping
+    from repro.sim.config import SimulationConfig
+    from repro.sim.replicate import default_seeds, run_replications
+    from repro.topology.graphs import torus_neighbor_graph
+    from repro.workload.synthetic import build_programs
+
+    try:
+        config = SimulationConfig(
+            radix=args.radix,
+            dimensions=args.dimensions,
+            contexts=args.contexts,
+            switching=args.switching,
+        )
+        if args.root_seed is not None:
+            config = config.with_seed(args.root_seed)
+        graph = torus_neighbor_graph(args.radix, args.dimensions)
+        programs = build_programs(
+            graph, args.contexts, config.compute_cycles, config.compute_jitter
+        )
+        if args.mapping == "identity":
+            mapping = identity_mapping(config.node_count)
+        else:
+            mapping = random_mapping(config.node_count, seed=config.seed)
+        seeds = default_seeds(config.seed, args.seeds)
+        result = run_replications(
+            config,
+            mapping,
+            programs,
+            seeds,
+            jobs=args.jobs,
+            warmup=args.warmup,
+            measure=args.measure,
+        )
+    except ReproError as exc:
+        print(f"replicate failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"{config.node_count}-node radix-{config.radix} "
+        f"{config.dimensions}-D torus ({config.switching}), "
+        f"{args.contexts} contexts, {args.mapping} mapping: "
+        f"{len(seeds)} seeds {list(seeds)}, jobs={args.jobs}"
+    )
+    width = max(len(name) for name in result.aggregates)
+    for name, aggregate in result.aggregates.items():
+        print(
+            f"{name:<{width}}  {aggregate.mean:12.4f} "
+            f"± {aggregate.ci95:.4f} (std {aggregate.std:.4f}, "
+            f"n={aggregate.n})"
+        )
+
+    if args.json:
+        payload = {
+            "config": {
+                "radix": config.radix,
+                "dimensions": config.dimensions,
+                "contexts": args.contexts,
+                "switching": config.switching,
+                "mapping": args.mapping,
+                "warmup": args.warmup,
+                "measure": args.measure,
+            },
+            "rng": result.rng,
+            "seeds": list(result.seeds),
+            "summaries": [s.as_dict() for s in result.summaries],
+            "aggregates": {
+                name: {
+                    "mean": a.mean,
+                    "std": a.std,
+                    "ci95": a.ci95,
+                    "n": a.n,
+                    "values": list(a.values),
+                }
+                for name, a in result.aggregates.items()
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"summaries written to {args.json}")
+
+    if args.trace:
+        paths = obs.write_outputs(
+            args.trace,
+            experiments=["replicate"],
+            parameters={
+                "command": "replicate",
+                "radix": config.radix,
+                "dimensions": config.dimensions,
+                "contexts": args.contexts,
+                "switching": config.switching,
+                "mapping": args.mapping,
+                "jobs": args.jobs,
+            },
+            rng_seeds=result.rng,
+        )
+        print(f"trace written to {paths['trace']}")
+        print(f"manifest written to {paths['manifest']}")
+    return 0
+
+
+def sim_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-sim`` entry point; returns a process exit code."""
+    parser = build_sim_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        obs.enable()
+    if args.command == "replicate":
+        return _command_replicate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -167,10 +167,10 @@ def _run_one(arguments) -> ExperimentResult:
 def _merge_worker_observability(results: Sequence[ExperimentResult]) -> None:
     """Fold pool workers' spans and counters into this process's state."""
     own_pid = os.getpid()
+    obs.ingest_worker_payloads(result.obs for result in results)
     for result in results:
         if not result.obs or result.obs.get("pid") == own_pid:
             continue
-        obs.ingest_spans(result.obs.get("spans", ()))
         for name, value in result.perf.items():
             if name in perf.snapshot() and value:
                 setattr(

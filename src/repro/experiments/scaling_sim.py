@@ -8,6 +8,12 @@ approach toward Eq 16's bound that makes latency asymptotically linear
 in distance.  Simulating a million nodes is out of reach; the point here
 is the *trend* at the scales a workstation can simulate, matching the
 model's predictions at the same distances.
+
+Each point is replicated under several root seeds
+(:func:`repro.sim.replicate.run_replications`); the tabulated point
+estimates come from the *first* seed — exactly the old single-seed run,
+so nothing shifts — and the 95% confidence half-widths ride alongside in
+the data series and the table's ± column.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.experiments.result import ExperimentResult
 from repro.experiments.validation_data import validation_report
 from repro.mapping.strategies import random_mapping
 from repro.sim.config import SimulationConfig
-from repro.sim.machine import Machine
+from repro.sim.replicate import default_seeds, run_replications
 from repro.topology.graphs import torus_neighbor_graph
 from repro.workload.synthetic import build_programs
 
@@ -52,10 +58,13 @@ def run(quick: bool = False) -> ExperimentResult:
         node.sensitivity, network.message_size, network.dimensions
     )
 
+    replications = 2 if quick else 3
     rows = []
     series = {
         "nodes": [], "distance": [], "rho": [],
         "t_m_sim": [], "t_m_model": [],
+        "t_m_sim_ci95": [], "rho_ci95": [], "distance_ci95": [],
+        "replications": replications,
     }
     for radix in radices:
         config = SimulationConfig(radix=radix, contexts=CONTEXTS, **windows)
@@ -64,19 +73,29 @@ def run(quick: bool = False) -> ExperimentResult:
             graph, CONTEXTS, config.compute_cycles, config.compute_jitter
         )
         mapping = random_mapping(config.node_count, seed=radix)
-        summary = Machine(config, mapping, programs).run()
+        result = run_replications(
+            config, mapping, programs,
+            seeds=default_seeds(config.seed, replications),
+        )
+        # Point estimates come from the first seed (the old single-seed
+        # run); the replications contribute only the spread.
+        summary = result.summaries[0]
         model_point = solve(node, network, summary.mean_message_hops)
         series["nodes"].append(config.node_count)
         series["distance"].append(summary.mean_message_hops)
         series["rho"].append(summary.channel_utilization)
         series["t_m_sim"].append(summary.mean_message_latency)
         series["t_m_model"].append(model_point.message_latency)
+        series["t_m_sim_ci95"].append(result.ci95("mean_message_latency"))
+        series["rho_ci95"].append(result.ci95("channel_utilization"))
+        series["distance_ci95"].append(result.ci95("mean_message_hops"))
         rows.append(
             (
                 config.node_count,
                 round(summary.mean_message_hops, 2),
                 round(summary.channel_utilization, 3),
                 round(summary.mean_message_latency, 1),
+                round(result.ci95("mean_message_latency"), 1),
                 round(model_point.message_latency, 1),
                 round(summary.mean_per_hop_latency, 2),
             )
@@ -88,13 +107,15 @@ def run(quick: bool = False) -> ExperimentResult:
             "d measured",
             "rho measured",
             "T_m sim",
+            "T_m ±95%",
             "T_m model",
             "T_h sim (approx)",
         ],
         rows,
         title=(
             "Random-mapping scaling, simulated "
-            f"(two contexts; Eq 16 limit = {limit:.1f} network cycles)"
+            f"(two contexts, {replications} seeds; "
+            f"Eq 16 limit = {limit:.1f} network cycles)"
         ),
     )
 

@@ -49,6 +49,7 @@ __all__ = [
     "trace_mark",
     "spans_since",
     "ingest_spans",
+    "ingest_worker_payloads",
     "write_chrome_trace",
     "write_spans_jsonl",
     # metrics
@@ -137,6 +138,25 @@ def spans_since(mark: int) -> List[Dict]:
 def ingest_spans(records: Iterable[Dict]) -> int:
     """Merge span records from another process into this trace."""
     return _STATE.trace.ingest(records)
+
+
+def ingest_worker_payloads(payloads: Iterable[Optional[Dict]]) -> int:
+    """Merge ``{"pid", "spans"}`` payloads shipped back by pool workers.
+
+    The shared pool-worker convention (campaign runner, replication
+    harness): each worker records spans into a fresh buffer and returns
+    them stamped with its pid; the parent folds them in here, skipping
+    payloads stamped with its *own* pid (a worker that ran serially, or
+    a fork that shipped inherited spans back).  Returns the number of
+    span records merged.
+    """
+    own_pid = os.getpid()
+    merged = 0
+    for payload in payloads:
+        if not payload or payload.get("pid") == own_pid:
+            continue
+        merged += ingest_spans(payload.get("spans", ()))
+    return merged
 
 
 def write_chrome_trace(path: str) -> str:

@@ -4,14 +4,31 @@ Reconstructs the machine the paper simulates in Section 3: multithreaded
 processors, a full-map invalidate directory protocol behind a single
 per-node controller, and a flit-level wormhole-routed torus network whose
 switches run twice as fast as the processors.
+
+The wormhole fabric's hot path is the array kernel
+(:mod:`repro.sim.kernel`, exported here as ``TorusFabric``); the
+object-based implementation it replaced survives as
+:class:`repro.sim.reference.ReferenceTorusFabric`, the executable
+specification the parity suite pins the kernel to cycle for cycle.
+Multi-seed replication with error bars lives in
+:mod:`repro.sim.replicate`.
 """
 
 from repro.sim.coherence import CacheState, CoherenceController, DirectoryState
 from repro.sim.config import SimulationConfig
+from repro.sim.kernel import FabricKernel
 from repro.sim.machine import Machine
 from repro.sim.message import CONTROL_FLITS, DATA_FLITS, Message, MessageKind
 from repro.sim.network import TorusFabric, Worm
 from repro.sim.processor import ContextState, HardwareContext, Processor
+from repro.sim.reference import ReferenceTorusFabric, ReferenceWorm
+from repro.sim.replicate import (
+    MetricAggregate,
+    ReplicationResult,
+    aggregate_summaries,
+    default_seeds,
+    run_replications,
+)
 from repro.sim.stats import MachineStats, MeasurementSummary
 from repro.sim.trace import MachineSample, TraceEvent, Tracer
 
@@ -22,6 +39,14 @@ __all__ = [
     "MachineStats",
     "TorusFabric",
     "Worm",
+    "FabricKernel",
+    "ReferenceTorusFabric",
+    "ReferenceWorm",
+    "MetricAggregate",
+    "ReplicationResult",
+    "aggregate_summaries",
+    "default_seeds",
+    "run_replications",
     "Message",
     "MessageKind",
     "CONTROL_FLITS",

@@ -133,6 +133,9 @@ class CutThroughFabric:
         #: Channels with queued traffic, in activation order.
         self._pending: List[int] = []
         self._deliveries: Dict[int, List[Transit]] = {}
+        #: Transits sitting in ``_deliveries``; lets the tick skip the
+        #: per-cycle dict pop entirely while nothing is scheduled.
+        self._delivery_count = 0
         self._in_flight = 0
         self.delivered_count = 0
 
@@ -198,13 +201,15 @@ class CutThroughFabric:
         # callbacks may inject replies, which land on self._pending
         # before it is read below — same-cycle eligibility, exactly as
         # the reference implementation had it.
-        arrivals = self._deliveries.pop(cycle, None)
-        if arrivals:
-            for transit in arrivals:
-                transit.message.delivered_at = cycle
-                self.delivered_count += 1
-                self._in_flight -= 1
-                self.on_delivery(transit)
+        if self._delivery_count:
+            arrivals = self._deliveries.pop(cycle, None)
+            if arrivals:
+                self._delivery_count -= len(arrivals)
+                for transit in arrivals:
+                    transit.message.delivered_at = cycle
+                    self.delivered_count += 1
+                    self._in_flight -= 1
+                    self.on_delivery(transit)
 
         # Grant channels.  Each channel serves one message at a time for
         # ``flits`` cycles; the head moves on after a single cycle.  A
@@ -249,6 +254,7 @@ class CutThroughFabric:
             # flits cross the ejection channel.
             when = cycle + flits
             self._deliveries.setdefault(when, []).append(transit)
+            self._delivery_count += 1
         else:
             # The head reaches the next switch one cycle later.
             self._enqueue(transit, cycle + 1)

@@ -17,7 +17,9 @@ window, after which :meth:`Machine.run` returns the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro import obs
 from repro.errors import SimulationError
@@ -62,6 +64,12 @@ class Machine:
         :class:`~repro.workload.base.ThreadProgram` per (instance,
         thread).  ``len(programs)`` must be ``config.contexts`` in
         replicated-instance mode and 1 in collocation mode.
+    fabric_factory:
+        Optional override for the network fabric, called as
+        ``fabric_factory(torus, on_delivery=...)``.  Used by the parity
+        suite and fixture generator to run the machine on
+        :class:`repro.sim.reference.ReferenceTorusFabric`; when omitted
+        the config's ``switching`` picks the production fabric.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class Machine:
         config: SimulationConfig,
         mapping: Mapping,
         programs: Sequence[Sequence[ThreadProgram]],
+        fabric_factory: Optional[Callable] = None,
     ):
         self.config = config
         self.torus = Torus(radix=config.radix, dimensions=config.dimensions)
@@ -114,7 +123,9 @@ class Machine:
                 )
         self.mapping = mapping
         self.stats = MachineStats(nodes=self.torus.node_count)
-        if config.switching == "wormhole":
+        if fabric_factory is not None:
+            self.fabric = fabric_factory(self.torus, on_delivery=self._deliver)
+        elif config.switching == "wormhole":
             self.fabric = TorusFabric(self.torus, on_delivery=self._deliver)
         else:
             self.fabric = CutThroughFabric(self.torus, on_delivery=self._deliver)
@@ -156,6 +167,11 @@ class Machine:
                 ]
                 for node in self.torus.nodes()
             }
+        # One child sequence per node from the documented root seed;
+        # processors receive their stream rather than deriving ad-hoc
+        # seeds, and ``rng_info`` records the scheme for run manifests.
+        self.seed_sequence = np.random.SeedSequence(config.seed)
+        node_seeds = self.seed_sequence.spawn(self.torus.node_count)
         for node in self.torus.nodes():
             node_programs = programs_at[node]
             self.processors.append(
@@ -165,12 +181,22 @@ class Machine:
                     controller=self.controllers[node],
                     programs=node_programs,
                     stats=self.stats,
+                    seed_seq=node_seeds[node],
                 )
             )
 
     # ------------------------------------------------------------------
     # Wiring.
     # ------------------------------------------------------------------
+
+    @property
+    def rng_info(self) -> Dict[str, object]:
+        """RNG provenance for run manifests: one root seed, spawned streams."""
+        return {
+            "root_seed": self.config.seed,
+            "scheme": "numpy.random.SeedSequence(root_seed).spawn(nodes)",
+            "streams": self.torus.node_count,
+        }
 
     def _home_of(self, block: Block) -> int:
         """Blocks live with their owning thread."""

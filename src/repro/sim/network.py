@@ -1,4 +1,4 @@
-"""Flit-level wormhole-routed torus fabric.
+"""Flit-level wormhole-routed torus fabric (array-kernel backed).
 
 Implements the network of Section 3.1: a k-ary n-dimensional torus with a
 pair of unidirectional channels between neighbors (one per direction),
@@ -26,374 +26,34 @@ utilization statistics (which count flits per *physical* link), keeping
 comparisons against the analytical model honest.
 
 Arbitration is first-come-first-served per channel, with ties between
-channels resolved in a fixed key order — the simulator is fully
+channels resolved in a fixed order — the simulator is fully
 deterministic given its inputs.
 
-**Implementation.**  The channel population (injection, ejection, and
-two virtual channels per link) is fixed by the torus geometry, so
-channels are enumerated up front and identified by dense integer ids:
-ownership, waiting queues, and flit-occupancy totals are flat lists
-indexed by channel id (or physical-link id for occupancy), and
-e-cube routes are memoized per endpoint pair (they are pure functions of
-the pair).  The grant loop itself stays sequential — unlike the
-cut-through fabric, a wormhole grant can release channels that later
-entries in the same cycle's scan then acquire, so iteration order is
-semantics, not bookkeeping.  The seeded golden-parity tests pin the
-behavior to the reference implementation cycle for cycle.
+**Implementation.**  Since PR 5 the hot path lives in
+:class:`repro.sim.kernel.FabricKernel`: flat numpy/array state per worm
+and per channel, a vectorized Phase-1 drain, and an event-driven Phase-2
+grant pass that touches only channels changing hands.  The previous
+object-based implementation is preserved verbatim (modulo the
+``acquire_moves`` scalar collapse) as
+:class:`repro.sim.reference.ReferenceTorusFabric` and serves as the
+executable specification: the parity suite
+(``tests/sim/test_kernel_parity.py``) pins the kernel to it cycle for
+cycle — identical delivery cycles, link flit counts, and stall behavior
+— and the seeded golden fixture does the same against recorded history.
+
+This module keeps the public names stable: ``TorusFabric`` is the
+kernel-backed fabric and ``Worm`` is the delivery record passed to
+``on_delivery`` (``message`` / ``hops`` / ``source_wait``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
-
-from repro.errors import SimulationError
-from repro.sim.message import Message
-from repro.topology.torus import Torus
+from repro.sim.kernel import DeliveredWorm as Worm
+from repro.sim.kernel import FabricKernel as TorusFabric
 
 __all__ = ["Worm", "TorusFabric"]
 
-ChannelKey = Tuple
-# Channel keys:
+# Channel keys (accepted by build_route / inject_on_route):
 #   ("inj", node)                  node -> switch
 #   ("ej", node)                   switch -> node
 #   ("link", node, dim, step, vc)  switch -> neighboring switch
-
-
-@dataclass(slots=True)
-class Worm:
-    """One message in flight through the fabric.
-
-    ``route`` holds dense channel ids (the key form is available from
-    :meth:`TorusFabric.build_route`); it is borrowed from the fabric's
-    route cache and must not be mutated.
-    """
-
-    message: Message
-    route: List[int]
-    #: Index of the most recently acquired route channel (-1 = none yet).
-    head: int = -1
-    #: Total movement cycles so far (each moves every flit one position).
-    moves: int = 0
-    #: ``acquire_moves[i]`` is the movement count when channel i was
-    #: acquired; channel i completes after ``flits`` further movements.
-    acquire_moves: List[int] = field(default_factory=list)
-    #: Index of the first not-yet-released route channel.
-    released: int = 0
-    #: Cycle stamp of the last movement (prevents >1 hop per cycle).
-    moved_at: int = -1
-    #: Cycles spent queued at the source's injection channel.
-    source_wait: int = 0
-    #: Message size in flits, materialized once (hot in channel release).
-    flits: int = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        self.flits = self.message.flits
-
-    @property
-    def hops(self) -> int:
-        """Switch-to-switch hops (route minus injection/ejection)."""
-        return len(self.route) - 2
-
-    @property
-    def at_destination(self) -> bool:
-        return self.head == len(self.route) - 1
-
-    @property
-    def delivered(self) -> bool:
-        return self.at_destination and self.moves >= self.acquire_moves[-1] + self.flits
-
-
-class TorusFabric:
-    """The complete interconnect: channels, arbitration, worm movement.
-
-    Parameters
-    ----------
-    torus:
-        Machine geometry.
-    on_delivery:
-        Callback invoked with each completed :class:`Worm` when its tail
-        flit has fully arrived at the destination node (the worm carries
-        the message plus hop/wait accounting).
-    stall_limit:
-        Safety net: if no worm moves for this many consecutive cycles
-        while traffic is in flight, a :class:`SimulationError` is raised
-        (this would indicate a routing-deadlock bug, which the dateline
-        VCs are there to prevent).
-    """
-
-    def __init__(
-        self,
-        torus: Torus,
-        on_delivery: Callable[["Worm"], None],
-        stall_limit: int = 10000,
-    ):
-        self.torus = torus
-        self.on_delivery = on_delivery
-        self.stall_limit = stall_limit
-
-        # Enumerate every channel: injection and ejection per node, two
-        # virtual channels per directed link.
-        self._channel_index: Dict[ChannelKey, int] = {}
-        self._link_keys: List[Tuple[int, int, int]] = []
-        link_index: Dict[Tuple[int, int, int], int] = {}
-        link_of: List[int] = []
-        for node in torus.nodes():
-            self._channel_index[("inj", node)] = len(link_of)
-            link_of.append(-1)
-        for node in torus.nodes():
-            self._channel_index[("ej", node)] = len(link_of)
-            link_of.append(-1)
-        for node in torus.nodes():
-            for dim in range(torus.dimensions):
-                for step in (1, -1):
-                    link = (node, dim, step)
-                    link_index[link] = len(self._link_keys)
-                    self._link_keys.append(link)
-                    for vc in (0, 1):
-                        key = ("link", node, dim, step, vc)
-                        self._channel_index[key] = len(link_of)
-                        link_of.append(link_index[link])
-        count = len(link_of)
-        self._link_of = link_of
-        self._owner: List[Optional[Worm]] = [None] * count
-        self._queues: List[Deque[Worm]] = [deque() for _ in range(count)]
-        self._in_pending: List[bool] = [False] * count
-        self._pending_keys: List[int] = []
-        self._draining: List[Worm] = []
-        self._stall_cycles = 0
-        self._owned_count = 0
-        self._queued_count = 0
-        #: Flits crossed per physical link, by link id (a plain list:
-        #: the counter is bumped one scalar at a time on channel
-        #: acquisition, where list indexing beats numpy indexing).
-        self._link_flit_counts = [0] * len(self._link_keys)
-        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
-        self.delivered_count = 0
-
-    # ------------------------------------------------------------------
-    # Route construction.
-    # ------------------------------------------------------------------
-
-    def build_route(self, source: int, destination: int) -> List[ChannelKey]:
-        """E-cube route with dateline VC assignment, inj/ej inclusive."""
-        if source == destination:
-            raise SimulationError(
-                f"messages to self must not enter the network (node {source})"
-            )
-        route: List[ChannelKey] = [("inj", source)]
-        radix = self.torus.radix
-        current_vc_dim = -1
-        vc = 0
-        for node, dim, step in self.torus.route_hops(source, destination):
-            if dim != current_vc_dim:
-                current_vc_dim = dim
-                vc = 0
-            coordinate = self.torus.coordinates(node)[dim]
-            route.append(("link", node, dim, step, vc))
-            # Crossing the ring's zero boundary switches to VC 1 for the
-            # rest of this dimension (the dateline rule).
-            wraps = (step == 1 and coordinate == radix - 1) or (
-                step == -1 and coordinate == 0
-            )
-            if wraps:
-                vc = 1
-        route.append(("ej", destination))
-        return route
-
-    def _route_ids(self, source: int, destination: int) -> List[int]:
-        """The channel-id route, memoized per (source, destination)."""
-        pair = (source, destination)
-        route = self._route_cache.get(pair)
-        if route is None:
-            index = self._channel_index
-            route = [
-                index[key] for key in self.build_route(source, destination)
-            ]
-            self._route_cache[pair] = route
-        return route
-
-    # ------------------------------------------------------------------
-    # Injection.
-    # ------------------------------------------------------------------
-
-    def inject(self, message: Message, cycle: int) -> None:
-        """Queue a message at its source node's injection channel."""
-        message.injected_at = cycle
-        worm = Worm(message=message, route=self._route_ids(
-            message.source, message.destination
-        ))
-        self._enqueue(worm, worm.route[0])
-
-    def _enqueue(self, worm: Worm, channel: int) -> None:
-        if not self._in_pending[channel]:
-            self._in_pending[channel] = True
-            self._pending_keys.append(channel)
-        self._queues[channel].append(worm)
-        self._queued_count += 1
-
-    # ------------------------------------------------------------------
-    # Per-cycle advance.
-    # ------------------------------------------------------------------
-
-    def tick(self, cycle: int) -> None:
-        """Advance the fabric by one network cycle."""
-        progressed = False
-
-        # Phase 1: drain worms whose heads have arrived; the destination
-        # consumes one flit per cycle unconditionally, releasing tail
-        # channels as they complete.
-        if self._draining:
-            still_draining: List[Worm] = []
-            for worm in self._draining:
-                worm.moves += 1
-                worm.moved_at = cycle
-                self._release_completed(worm)
-                progressed = True
-                # Draining worms are at destination by construction, so
-                # ``worm.delivered`` reduces to the tail-arrival check.
-                if worm.moves >= worm.acquire_moves[-1] + worm.flits:
-                    self._finish(worm, cycle)
-                else:
-                    still_draining.append(worm)
-            self._draining = still_draining
-
-        # Phase 2: grant free channels to the first eligible waiter.  A
-        # worm moves at most one hop per cycle (checked via moved_at).
-        # _enqueue appends to self._pending_keys DURING this loop (a
-        # grant feeding the worm's next channel); those entries must be
-        # visited this same cycle so they land in remaining_keys — the
-        # index-based loop preserves that.
-        pending = self._pending_keys
-        remaining_keys: List[int] = []
-        owner = self._owner
-        queues = self._queues
-        index = 0
-        while index < len(pending):
-            channel = pending[index]
-            index += 1
-            queue = queues[channel]
-            if not queue:
-                self._in_pending[channel] = False
-                continue
-            head_worm = queue[0]
-            if owner[channel] is not None or head_worm.moved_at == cycle:
-                remaining_keys.append(channel)
-                continue
-            queue.popleft()
-            self._queued_count -= 1
-            self._advance(head_worm, channel, cycle)
-            progressed = True
-            if queue:
-                remaining_keys.append(channel)
-            else:
-                self._in_pending[channel] = False
-        self._pending_keys = remaining_keys
-
-        # Deadlock safety net.
-        in_flight = bool(
-            self._owned_count or self._queued_count or self._draining
-        )
-        if in_flight and not progressed:
-            self._stall_cycles += 1
-            if self._stall_cycles >= self.stall_limit:
-                raise SimulationError(
-                    f"network made no progress for {self.stall_limit} cycles "
-                    f"with {self._owned_count} channels held — routing "
-                    "deadlock or arbitration bug"
-                )
-        else:
-            self._stall_cycles = 0
-
-    def _advance(self, worm: Worm, channel: int, cycle: int) -> None:
-        """Grant ``channel`` to ``worm`` and account the movement."""
-        self._owner[channel] = worm
-        self._owned_count += 1
-        worm.head += 1
-        if worm.head == 0:
-            worm.source_wait = cycle - worm.message.injected_at
-        worm.acquire_moves.append(worm.moves)
-        worm.moves += 1
-        worm.moved_at = cycle
-        link = self._link_of[channel]
-        if link >= 0:
-            # The message will push exactly ``flits`` flits through this
-            # physical link; account them at acquisition time (utilization
-            # statistics are window averages, so the timing skew of at
-            # most B cycles is negligible).
-            self._link_flit_counts[link] += worm.flits
-        self._release_completed(worm)
-        if worm.head == len(worm.route) - 1:
-            if worm.moves >= worm.acquire_moves[-1] + worm.flits:
-                self._finish(worm, cycle)  # single-flit full arrival
-            else:
-                self._draining.append(worm)
-        else:
-            self._enqueue(worm, worm.route[worm.head + 1])
-
-    def _release_completed(self, worm: Worm) -> None:
-        """Free route channels whose ``flits`` transfers have completed."""
-        while (
-            worm.released <= worm.head
-            and worm.moves >= worm.acquire_moves[worm.released] + worm.flits
-        ):
-            channel = worm.route[worm.released]
-            owner = self._owner[channel]
-            self._owner[channel] = None
-            self._owned_count -= 1
-            if owner is not worm:
-                raise SimulationError(
-                    f"channel {channel} released by non-owner worm "
-                    f"{worm.message.uid}"
-                )
-            worm.released += 1
-
-    def _finish(self, worm: Worm, cycle: int) -> None:
-        """Release any remaining channels and deliver the message."""
-        while worm.released <= worm.head:
-            channel = worm.route[worm.released]
-            owner = self._owner[channel]
-            self._owner[channel] = None
-            self._owned_count -= 1
-            if owner is not worm:
-                raise SimulationError(
-                    f"channel {channel} held by wrong worm at delivery"
-                )
-            worm.released += 1
-        worm.message.delivered_at = cycle
-        self.delivered_count += 1
-        self.on_delivery(worm)
-
-    # ------------------------------------------------------------------
-    # Introspection.
-    # ------------------------------------------------------------------
-
-    @property
-    def link_flits(self) -> Dict[Tuple[int, int, int], int]:
-        """Flits crossed per physical link (links with traffic only)."""
-        keys = self._link_keys
-        return {
-            keys[i]: count
-            for i, count in enumerate(self._link_flit_counts)
-            if count
-        }
-
-    @property
-    def in_flight(self) -> int:
-        """Worms currently traversing or queued in the fabric."""
-        worms = set()
-        for queue in self._queues:
-            if queue:
-                worms.update(id(w) for w in queue)
-        for worm in self._owner:
-            if worm is not None:
-                worms.add(id(worm))
-        worms.update(id(w) for w in self._draining)
-        return len(worms)
-
-    def quiescent(self) -> bool:
-        """True when no traffic is anywhere in the fabric."""
-        return not (
-            self._owned_count or self._queued_count or self._draining
-        )

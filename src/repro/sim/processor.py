@@ -12,6 +12,15 @@ model where ``t_t = T_r + T_t`` has no switch term).
 
 The processor ticks once per *processor* cycle; the machine driver calls
 :meth:`tick` only on processor-cycle boundaries of the network clock.
+
+**RNG streams.**  Every per-node stream derives from one documented root
+seed via ``numpy.random.SeedSequence(root_seed).spawn(...)`` — the
+machine spawns one child sequence per node and hands it to that node's
+processor, so a replication's entire stream family is reproducible from
+(and recorded as) the root seed alone.  A standalone processor without a
+machine derives the identical stream from
+``SeedSequence(config.seed, spawn_key=(node,))``, which is by
+construction the same child ``spawn`` would have produced.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ import enum
 import random
 from dataclasses import dataclass
 from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.coherence import CoherenceController
@@ -62,6 +73,7 @@ class Processor:
         controller: CoherenceController,
         programs: List[ThreadProgram],
         stats,
+        seed_seq: Optional[np.random.SeedSequence] = None,
     ):
         if len(programs) != config.contexts:
             raise SimulationError(
@@ -72,8 +84,18 @@ class Processor:
         self.config = config
         self.controller = controller
         self.stats = stats
-        # Deterministic per-node stream (tuples are not valid seeds).
-        self.rng = random.Random(config.seed * 1000003 + node)
+        # Deterministic per-node stream, spawned from the root seed (see
+        # module docstring).  The child sequence's first 128 bits seed a
+        # ``random.Random`` so the program interface stays the stdlib
+        # generator.
+        if seed_seq is None:
+            seed_seq = np.random.SeedSequence(config.seed, spawn_key=(node,))
+        self.seed_seq = seed_seq
+        self.rng = random.Random(
+            int.from_bytes(
+                seed_seq.generate_state(4, np.uint32).tobytes(), "little"
+            )
+        )
         self.contexts = [
             HardwareContext(index=i, program=program)
             for i, program in enumerate(programs)

@@ -1,0 +1,403 @@
+"""Reference wormhole fabric: the executable specification.
+
+This is the object-based rigid-worm implementation the array kernel in
+:mod:`repro.sim.kernel` replaced on the hot path, preserved verbatim in
+behavior (the ``mapping/reference.py`` pattern): one Python object per
+worm, one deque per channel, a sequential grant scan per cycle.  Nothing
+here runs on a default simulation — it exists so the kernel has an
+independent, easy-to-audit implementation to be pinned against cycle for
+cycle (same delivery cycles, same link-flit counts, same stall
+detection) by the parity tests and benchmarks.
+
+The only post-extraction change is the ``acquire_moves`` list being
+collapsed to the scalar ``last_acquire_move``: before a worm reaches its
+destination, ``moves`` increments exactly once per channel acquisition
+and acquisition happens *before* the increment, so the movement count at
+which route channel ``i`` was acquired is always ``i`` — the list was a
+per-hop allocation recording the identity function.  Channel ``i`` is
+therefore released exactly when ``moves >= i + flits``, and the
+drain/finish checks only ever need the final acquisition's movement
+count, which the scalar now carries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.message import Message
+from repro.topology.torus import Torus
+
+__all__ = ["ReferenceWorm", "ReferenceTorusFabric"]
+
+ChannelKey = Tuple
+# Channel keys:
+#   ("inj", node)                  node -> switch
+#   ("ej", node)                   switch -> node
+#   ("link", node, dim, step, vc)  switch -> neighboring switch
+
+
+@dataclass(slots=True)
+class ReferenceWorm:
+    """One message in flight through the fabric.
+
+    ``route`` holds dense channel ids (the key form is available from
+    :meth:`ReferenceTorusFabric.build_route`); it is borrowed from the
+    fabric's route cache and must not be mutated.
+    """
+
+    message: Message
+    route: List[int]
+    #: Index of the most recently acquired route channel (-1 = none yet).
+    head: int = -1
+    #: Total movement cycles so far (each moves every flit one position).
+    moves: int = 0
+    #: Movement count when the most recent channel was acquired.  Equals
+    #: ``head`` by the acquire-before-increment invariant (see module
+    #: docstring); kept as an explicit field so the drain/finish checks
+    #: read like the worm model they implement.
+    last_acquire_move: int = -1
+    #: Index of the first not-yet-released route channel.
+    released: int = 0
+    #: Cycle stamp of the last movement (prevents >1 hop per cycle).
+    moved_at: int = -1
+    #: Cycles spent queued at the source's injection channel.
+    source_wait: int = 0
+    #: Message size in flits, materialized once (hot in channel release).
+    flits: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.flits = self.message.flits
+
+    @property
+    def hops(self) -> int:
+        """Switch-to-switch hops (route minus injection/ejection)."""
+        return len(self.route) - 2
+
+    @property
+    def at_destination(self) -> bool:
+        return self.head == len(self.route) - 1
+
+    @property
+    def delivered(self) -> bool:
+        return (
+            self.at_destination
+            and self.moves >= self.last_acquire_move + self.flits
+        )
+
+
+class ReferenceTorusFabric:
+    """The complete interconnect: channels, arbitration, worm movement.
+
+    Parameters
+    ----------
+    torus:
+        Machine geometry.
+    on_delivery:
+        Callback invoked with each completed :class:`ReferenceWorm` when
+        its tail flit has fully arrived at the destination node (the
+        worm carries the message plus hop/wait accounting).
+    stall_limit:
+        Safety net: if no worm moves for this many consecutive cycles
+        while traffic is in flight, a :class:`SimulationError` is raised
+        (this would indicate a routing-deadlock bug, which the dateline
+        VCs are there to prevent).
+    """
+
+    def __init__(
+        self,
+        torus: Torus,
+        on_delivery: Callable[["ReferenceWorm"], None],
+        stall_limit: int = 10000,
+    ):
+        self.torus = torus
+        self.on_delivery = on_delivery
+        self.stall_limit = stall_limit
+
+        # Enumerate every channel: injection and ejection per node, two
+        # virtual channels per directed link.
+        self._channel_index: Dict[ChannelKey, int] = {}
+        self._link_keys: List[Tuple[int, int, int]] = []
+        link_index: Dict[Tuple[int, int, int], int] = {}
+        link_of: List[int] = []
+        for node in torus.nodes():
+            self._channel_index[("inj", node)] = len(link_of)
+            link_of.append(-1)
+        for node in torus.nodes():
+            self._channel_index[("ej", node)] = len(link_of)
+            link_of.append(-1)
+        for node in torus.nodes():
+            for dim in range(torus.dimensions):
+                for step in (1, -1):
+                    link = (node, dim, step)
+                    link_index[link] = len(self._link_keys)
+                    self._link_keys.append(link)
+                    for vc in (0, 1):
+                        key = ("link", node, dim, step, vc)
+                        self._channel_index[key] = len(link_of)
+                        link_of.append(link_index[link])
+        count = len(link_of)
+        self._link_of = link_of
+        self._owner: List[Optional[ReferenceWorm]] = [None] * count
+        self._queues: List[Deque[ReferenceWorm]] = [
+            deque() for _ in range(count)
+        ]
+        self._in_pending: List[bool] = [False] * count
+        self._pending_keys: List[int] = []
+        self._draining: List[ReferenceWorm] = []
+        self._stall_cycles = 0
+        self._owned_count = 0
+        self._queued_count = 0
+        #: Flits crossed per physical link, by link id.
+        self._link_flit_counts = [0] * len(self._link_keys)
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Route construction.
+    # ------------------------------------------------------------------
+
+    def build_route(self, source: int, destination: int) -> List[ChannelKey]:
+        """E-cube route with dateline VC assignment, inj/ej inclusive."""
+        if source == destination:
+            raise SimulationError(
+                f"messages to self must not enter the network (node {source})"
+            )
+        route: List[ChannelKey] = [("inj", source)]
+        radix = self.torus.radix
+        current_vc_dim = -1
+        vc = 0
+        for node, dim, step in self.torus.route_hops(source, destination):
+            if dim != current_vc_dim:
+                current_vc_dim = dim
+                vc = 0
+            coordinate = self.torus.coordinates(node)[dim]
+            route.append(("link", node, dim, step, vc))
+            # Crossing the ring's zero boundary switches to VC 1 for the
+            # rest of this dimension (the dateline rule).
+            wraps = (step == 1 and coordinate == radix - 1) or (
+                step == -1 and coordinate == 0
+            )
+            if wraps:
+                vc = 1
+        route.append(("ej", destination))
+        return route
+
+    def _route_ids(self, source: int, destination: int) -> List[int]:
+        """The channel-id route, memoized per (source, destination)."""
+        pair = (source, destination)
+        route = self._route_cache.get(pair)
+        if route is None:
+            index = self._channel_index
+            route = [
+                index[key] for key in self.build_route(source, destination)
+            ]
+            self._route_cache[pair] = route
+        return route
+
+    # ------------------------------------------------------------------
+    # Injection.
+    # ------------------------------------------------------------------
+
+    def inject(self, message: Message, cycle: int) -> None:
+        """Queue a message at its source node's injection channel."""
+        message.injected_at = cycle
+        worm = ReferenceWorm(message=message, route=self._route_ids(
+            message.source, message.destination
+        ))
+        self._enqueue(worm, worm.route[0])
+
+    def inject_on_route(
+        self, message: Message, route_keys: Sequence[ChannelKey], cycle: int
+    ) -> None:
+        """Test hook: inject on an explicit channel-key route.
+
+        Bypasses e-cube/dateline route construction so tests can craft
+        channel-dependency patterns (e.g. a circular wait) that legal
+        routing can never produce.  The route must still start at an
+        injection channel and end at an ejection channel.
+        """
+        message.injected_at = cycle
+        index = self._channel_index
+        worm = ReferenceWorm(
+            message=message, route=[index[key] for key in route_keys]
+        )
+        self._enqueue(worm, worm.route[0])
+
+    def _enqueue(self, worm: ReferenceWorm, channel: int) -> None:
+        if not self._in_pending[channel]:
+            self._in_pending[channel] = True
+            self._pending_keys.append(channel)
+        self._queues[channel].append(worm)
+        self._queued_count += 1
+
+    # ------------------------------------------------------------------
+    # Per-cycle advance.
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance the fabric by one network cycle."""
+        progressed = False
+
+        # Phase 1: drain worms whose heads have arrived; the destination
+        # consumes one flit per cycle unconditionally, releasing tail
+        # channels as they complete.
+        if self._draining:
+            still_draining: List[ReferenceWorm] = []
+            for worm in self._draining:
+                worm.moves += 1
+                worm.moved_at = cycle
+                self._release_completed(worm)
+                progressed = True
+                # Draining worms are at destination by construction, so
+                # ``worm.delivered`` reduces to the tail-arrival check.
+                if worm.moves >= worm.last_acquire_move + worm.flits:
+                    self._finish(worm, cycle)
+                else:
+                    still_draining.append(worm)
+            self._draining = still_draining
+
+        # Phase 2: grant free channels to the first eligible waiter.  A
+        # worm moves at most one hop per cycle (checked via moved_at).
+        # _enqueue appends to self._pending_keys DURING this loop (a
+        # grant feeding the worm's next channel); those entries must be
+        # visited this same cycle so they land in remaining_keys — the
+        # index-based loop preserves that.
+        pending = self._pending_keys
+        remaining_keys: List[int] = []
+        owner = self._owner
+        queues = self._queues
+        index = 0
+        while index < len(pending):
+            channel = pending[index]
+            index += 1
+            queue = queues[channel]
+            if not queue:
+                self._in_pending[channel] = False
+                continue
+            head_worm = queue[0]
+            if owner[channel] is not None or head_worm.moved_at == cycle:
+                remaining_keys.append(channel)
+                continue
+            queue.popleft()
+            self._queued_count -= 1
+            self._advance(head_worm, channel, cycle)
+            progressed = True
+            if queue:
+                remaining_keys.append(channel)
+            else:
+                self._in_pending[channel] = False
+        self._pending_keys = remaining_keys
+
+        # Deadlock safety net.
+        in_flight = bool(
+            self._owned_count or self._queued_count or self._draining
+        )
+        if in_flight and not progressed:
+            self._stall_cycles += 1
+            if self._stall_cycles >= self.stall_limit:
+                raise SimulationError(
+                    f"network made no progress for {self.stall_limit} cycles "
+                    f"with {self._owned_count} channels held — routing "
+                    "deadlock or arbitration bug"
+                )
+        else:
+            self._stall_cycles = 0
+
+    def _advance(self, worm: ReferenceWorm, channel: int, cycle: int) -> None:
+        """Grant ``channel`` to ``worm`` and account the movement."""
+        self._owner[channel] = worm
+        self._owned_count += 1
+        worm.head += 1
+        if worm.head == 0:
+            worm.source_wait = cycle - worm.message.injected_at
+        worm.last_acquire_move = worm.moves
+        worm.moves += 1
+        worm.moved_at = cycle
+        link = self._link_of[channel]
+        if link >= 0:
+            # The message will push exactly ``flits`` flits through this
+            # physical link; account them at acquisition time (utilization
+            # statistics are window averages, so the timing skew of at
+            # most B cycles is negligible).
+            self._link_flit_counts[link] += worm.flits
+        self._release_completed(worm)
+        if worm.head == len(worm.route) - 1:
+            if worm.moves >= worm.last_acquire_move + worm.flits:
+                self._finish(worm, cycle)  # single-flit full arrival
+            else:
+                self._draining.append(worm)
+        else:
+            self._enqueue(worm, worm.route[worm.head + 1])
+
+    def _release_completed(self, worm: ReferenceWorm) -> None:
+        """Free route channels whose ``flits`` transfers have completed.
+
+        Channel ``i`` was acquired at movement count ``i`` (see the
+        module docstring), so it completes once ``moves >= i + flits``.
+        """
+        while (
+            worm.released <= worm.head
+            and worm.moves >= worm.released + worm.flits
+        ):
+            channel = worm.route[worm.released]
+            owner = self._owner[channel]
+            self._owner[channel] = None
+            self._owned_count -= 1
+            if owner is not worm:
+                raise SimulationError(
+                    f"channel {channel} released by non-owner worm "
+                    f"{worm.message.uid}"
+                )
+            worm.released += 1
+
+    def _finish(self, worm: ReferenceWorm, cycle: int) -> None:
+        """Release any remaining channels and deliver the message."""
+        while worm.released <= worm.head:
+            channel = worm.route[worm.released]
+            owner = self._owner[channel]
+            self._owner[channel] = None
+            self._owned_count -= 1
+            if owner is not worm:
+                raise SimulationError(
+                    f"channel {channel} held by wrong worm at delivery"
+                )
+            worm.released += 1
+        worm.message.delivered_at = cycle
+        self.delivered_count += 1
+        self.on_delivery(worm)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def link_flits(self) -> Dict[Tuple[int, int, int], int]:
+        """Flits crossed per physical link (links with traffic only)."""
+        keys = self._link_keys
+        return {
+            keys[i]: count
+            for i, count in enumerate(self._link_flit_counts)
+            if count
+        }
+
+    @property
+    def in_flight(self) -> int:
+        """Worms currently traversing or queued in the fabric."""
+        worms = set()
+        for queue in self._queues:
+            if queue:
+                worms.update(id(w) for w in queue)
+        for worm in self._owner:
+            if worm is not None:
+                worms.add(id(worm))
+        worms.update(id(w) for w in self._draining)
+        return len(worms)
+
+    def quiescent(self) -> bool:
+        """True when no traffic is anywhere in the fabric."""
+        return not (
+            self._owned_count or self._queued_count or self._draining
+        )

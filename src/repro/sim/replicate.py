@@ -1,0 +1,232 @@
+"""Parallel multi-seed replication of simulator runs.
+
+Every simulated figure used to rest on a single seed.  This module runs
+the same (config, mapping, programs) machine under a list of root seeds
+— serially or fanned out over a ``ProcessPoolExecutor`` — and aggregates
+each :class:`~repro.sim.stats.MeasurementSummary` metric into mean /
+sample standard deviation / 95% confidence interval, so model-vs-sim
+comparisons carry error bars instead of point estimates.
+
+Determinism contract: for a fixed seed list the aggregates (and the
+per-seed summaries) are identical regardless of ``jobs``.  Each
+replication is an isolated machine built from ``config.with_seed(seed)``
+with its own deep copy of the programs (pool pickling provides the copy
+naturally; the serial path copies explicitly), results are reassembled
+in seed order whatever the completion order, and the statistics are
+computed with plain float arithmetic over that order.
+
+Seed policy: :func:`default_seeds` enumerates ``root, root+1, ...`` so
+the first replication of a campaign is exactly the old single-seed run —
+adding error bars never changes existing point estimates.  Every
+processor stream inside a replication derives from that replication's
+seed via ``numpy.random.SeedSequence`` (see :mod:`repro.sim.processor`),
+and the RNG provenance rides on the result for run manifests.
+
+With observability enabled the whole sweep runs under a ``replicate``
+span, each replication inside a ``replication`` span; pool workers ship
+their span records back on the result tuple and the parent merges them
+(:func:`repro.obs.ingest_worker_payloads`), so a ``jobs=N`` trace is
+equivalent to the serial one.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import ParameterError
+from repro.mapping.base import Mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.sim.stats import MeasurementSummary
+from repro.workload.base import ThreadProgram
+
+__all__ = [
+    "MetricAggregate",
+    "ReplicationResult",
+    "aggregate_summaries",
+    "default_seeds",
+    "run_replications",
+]
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean / spread of one summary metric across replications.
+
+    ``std`` is the sample standard deviation (ddof=1; 0.0 with a single
+    replication) and ``ci95`` the normal-approximation half-width
+    ``1.96 * std / sqrt(n)``.  ``n`` counts replications whose window
+    produced the metric (``None`` values are skipped); ``values`` keeps
+    the per-seed points, in seed order, for plotting.
+    """
+
+    metric: str
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    values: Tuple[float, ...]
+
+
+@dataclass
+class ReplicationResult:
+    """Everything ``run_replications`` measured.
+
+    ``summaries[i]`` is the full per-seed summary for ``seeds[i]``;
+    ``aggregates`` maps metric name to its cross-seed statistics.
+    """
+
+    seeds: Tuple[int, ...]
+    summaries: List[MeasurementSummary]
+    aggregates: Dict[str, MetricAggregate]
+    rng: Dict[str, object]
+
+    def mean(self, metric: str) -> Optional[float]:
+        aggregate = self.aggregates.get(metric)
+        return aggregate.mean if aggregate else None
+
+    def ci95(self, metric: str) -> Optional[float]:
+        aggregate = self.aggregates.get(metric)
+        return aggregate.ci95 if aggregate else None
+
+
+def default_seeds(root_seed: int, count: int) -> Tuple[int, ...]:
+    """``root, root+1, ...`` — replication 0 is the old single-seed run."""
+    if count < 1:
+        raise ParameterError(f"need at least one replication; got {count}")
+    return tuple(root_seed + i for i in range(count))
+
+
+def aggregate_summaries(
+    summaries: Sequence[MeasurementSummary],
+) -> Dict[str, MetricAggregate]:
+    """Cross-replication statistics for every numeric summary metric."""
+    if not summaries:
+        raise ParameterError("no summaries to aggregate")
+    aggregates: Dict[str, MetricAggregate] = {}
+    for metric in summaries[0].as_dict():
+        values = tuple(
+            float(value)
+            for summary in summaries
+            if (value := summary.as_dict()[metric]) is not None
+        )
+        if not values:
+            continue
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            std = math.sqrt(variance)
+        else:
+            std = 0.0
+        aggregates[metric] = MetricAggregate(
+            metric=metric,
+            mean=mean,
+            std=std,
+            ci95=1.96 * std / math.sqrt(n),
+            n=n,
+            values=values,
+        )
+    return aggregates
+
+
+def _run_single(arguments) -> Tuple[MeasurementSummary, Optional[Dict]]:
+    """Pool worker: one seeded machine run.
+
+    Module-level so it pickles; takes one tuple so it maps cleanly.
+    Pool pickling already hands this process its own copy of mapping and
+    programs, so no further isolation is needed here — the *serial*
+    caller is the one that must copy.
+    """
+    config, mapping, programs, seed, warmup, measure, collect_obs = arguments
+    if collect_obs:
+        # Fork-started workers inherit the parent's trace buffer; start
+        # fresh so this worker's spans carry its own pid exactly once.
+        obs.enable()
+        obs.reset()
+    mark = obs.trace_mark() if collect_obs else 0
+    with obs.span("replication", seed=seed):
+        machine = Machine(config.with_seed(seed), mapping, programs)
+        summary = machine.run(warmup=warmup, measure=measure)
+    payload = (
+        {"pid": os.getpid(), "spans": obs.spans_since(mark)}
+        if collect_obs
+        else None
+    )
+    return summary, payload
+
+
+def run_replications(
+    config: SimulationConfig,
+    mapping: Mapping,
+    programs: Sequence[Sequence[ThreadProgram]],
+    seeds: Sequence[int],
+    jobs: int = 1,
+    warmup: Optional[int] = None,
+    measure: Optional[int] = None,
+) -> ReplicationResult:
+    """Run one machine configuration under each seed and aggregate.
+
+    ``jobs > 1`` fans the replications over a process pool (falling back
+    to the serial path when the platform cannot start one); results and
+    aggregates are identical either way.  ``warmup`` / ``measure``
+    override the config's windows, as with :meth:`Machine.run`.
+    """
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ParameterError("need at least one replication seed")
+    collect_obs = obs.is_enabled()
+    work = [
+        (config, mapping, programs, seed, warmup, measure, collect_obs)
+        for seed in seeds
+    ]
+    outcomes: Optional[List[Tuple[MeasurementSummary, Optional[Dict]]]] = None
+    with obs.span("replicate", seeds=len(seeds), jobs=jobs):
+        if jobs > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    outcomes = list(pool.map(_run_single, work))
+                if collect_obs:
+                    obs.ingest_worker_payloads(
+                        payload for _, payload in outcomes
+                    )
+            except (ImportError, NotImplementedError, OSError):
+                outcomes = None  # no usable pool; run serially below
+        if outcomes is None:
+            # Serial path: deep-copy mapping/programs per run for the
+            # same isolation pool pickling provides (programs may carry
+            # mutable per-run state).
+            outcomes = [
+                _run_single(
+                    (
+                        config,
+                        copy.deepcopy(mapping),
+                        copy.deepcopy(programs),
+                        seed,
+                        warmup,
+                        measure,
+                        False,
+                    )
+                )
+                for seed in seeds
+            ]
+    summaries = [summary for summary, _ in outcomes]
+    return ReplicationResult(
+        seeds=seeds,
+        summaries=summaries,
+        aggregates=aggregate_summaries(summaries),
+        rng={
+            "seeds": list(seeds),
+            "scheme": (
+                "per-replication root seed -> "
+                "numpy.random.SeedSequence(seed).spawn(nodes)"
+            ),
+        },
+    )

@@ -54,6 +54,17 @@ class MeasurementSummary:
     def transactions(self) -> int:
         return self.remote_transactions + self.local_transactions
 
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """All measured fields by name, plus derived ``transactions``.
+
+        The replication harness aggregates over these; ``None`` fields
+        (windows with no relevant events) stay ``None`` and are skipped
+        by the aggregator.
+        """
+        data = dict(vars(self))
+        data["transactions"] = self.transactions
+        return data
+
 
 class MachineStats:
     """Event counters with an explicit measurement gate."""

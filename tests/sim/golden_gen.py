@@ -1,13 +1,16 @@
 """Regenerate the simulator parity fixture (tests/sim/golden_parity.json).
 
-Run from the repo root with the *reference* simulator implementation:
+Run from the repo root:
 
     PYTHONPATH=src python tests/sim/golden_gen.py
 
-The fixture pins message counts, delivery counts, link-flit totals, and
-full message-latency histograms for seeded 64-node runs on both fabrics,
-so any rework of the fabric hot loops (e.g. the vectorized channel
-bookkeeping) can be checked cycle-exact against the original behavior.
+Wormhole cases are generated with the machine running on
+``repro.sim.reference.ReferenceTorusFabric`` — the object-based
+executable specification — while ``test_golden_parity.py`` replays them
+on the default (array-kernel) fabric.  Fixture equality therefore *is*
+the reference-vs-kernel parity check, pinned over full machine runs:
+message counts, delivery counts, link-flit totals, and complete
+message-latency histograms, cycle for cycle.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from collections import Counter
 from repro.mapping.strategies import identity_mapping, random_mapping
 from repro.sim.config import SimulationConfig
 from repro.sim.machine import Machine
+from repro.sim.reference import ReferenceTorusFabric
 from repro.topology.graphs import torus_neighbor_graph
 from repro.workload.synthetic import build_programs
 
@@ -52,7 +56,8 @@ def run_case(switching: str, contexts: int, mapping_name: str) -> dict:
     latencies: Counter = Counter()
     hops: Counter = Counter()
 
-    machine = Machine(config, mapping, programs)
+    factory = ReferenceTorusFabric if switching == "wormhole" else None
+    machine = Machine(config, mapping, programs, fabric_factory=factory)
     original_deliver = machine._deliver
 
     def recording_deliver(transit):

@@ -1,0 +1,114 @@
+"""Tests for the multi-seed replication harness."""
+
+import copy
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.mapping.strategies import random_mapping
+from repro.sim.config import SimulationConfig
+from repro.sim.machine import Machine
+from repro.sim.replicate import (
+    aggregate_summaries,
+    default_seeds,
+    run_replications,
+)
+from repro.topology.graphs import torus_neighbor_graph
+from repro.workload.synthetic import build_programs
+
+
+def small_setup(radix=4, contexts=2):
+    config = SimulationConfig(
+        radix=radix, dimensions=2, contexts=contexts,
+        warmup_network_cycles=300, measure_network_cycles=1200,
+    )
+    graph = torus_neighbor_graph(radix, 2)
+    programs = build_programs(
+        graph, contexts, config.compute_cycles, config.compute_jitter
+    )
+    mapping = random_mapping(config.node_count, seed=radix)
+    return config, mapping, programs
+
+
+class TestSeeds:
+    def test_default_seeds_enumerate_from_root(self):
+        assert default_seeds(1992, 3) == (1992, 1993, 1994)
+
+    def test_default_seeds_reject_empty(self):
+        with pytest.raises(ParameterError):
+            default_seeds(0, 0)
+
+    def test_empty_seed_list_rejected(self):
+        config, mapping, programs = small_setup()
+        with pytest.raises(ParameterError):
+            run_replications(config, mapping, programs, seeds=())
+
+
+class TestAggregation:
+    def test_aggregate_matches_hand_computation(self):
+        config, mapping, programs = small_setup()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 3)
+        )
+        values = [s.mean_message_latency for s in result.summaries]
+        mean = sum(values) / 3
+        std = math.sqrt(sum((v - mean) ** 2 for v in values) / 2)
+        aggregate = result.aggregates["mean_message_latency"]
+        assert aggregate.mean == pytest.approx(mean)
+        assert aggregate.std == pytest.approx(std)
+        assert aggregate.ci95 == pytest.approx(1.96 * std / math.sqrt(3))
+        assert aggregate.n == 3
+        assert aggregate.values == tuple(values)
+
+    def test_single_replication_has_zero_spread(self):
+        config, mapping, programs = small_setup()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 1)
+        )
+        for aggregate in result.aggregates.values():
+            assert aggregate.std == 0.0
+            assert aggregate.ci95 == 0.0
+            assert aggregate.n == 1
+
+    def test_aggregate_summaries_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            aggregate_summaries([])
+
+
+class TestDeterminism:
+    def test_first_seed_is_the_single_run(self):
+        # default_seeds starts at the config's own seed, so replication
+        # zero reproduces the old single-seed run exactly — adding error
+        # bars never moves existing point estimates.
+        config, mapping, programs = small_setup()
+        single = Machine(config, mapping, copy.deepcopy(programs)).run()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 2)
+        )
+        assert result.summaries[0].as_dict() == single.as_dict()
+
+    def test_jobs_do_not_change_results(self):
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 3)
+        serial = run_replications(config, mapping, programs, seeds, jobs=1)
+        pooled = run_replications(config, mapping, programs, seeds, jobs=3)
+        assert [s.as_dict() for s in serial.summaries] == [
+            s.as_dict() for s in pooled.summaries
+        ]
+        assert serial.aggregates == pooled.aggregates
+
+    def test_distinct_seeds_vary_the_measurement(self):
+        config, mapping, programs = small_setup()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 3)
+        )
+        latencies = {s.mean_message_latency for s in result.summaries}
+        assert len(latencies) > 1  # different streams, different runs
+
+    def test_rng_provenance_recorded(self):
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 2)
+        result = run_replications(config, mapping, programs, seeds)
+        assert result.rng["seeds"] == list(seeds)
+        assert "SeedSequence" in result.rng["scheme"]
