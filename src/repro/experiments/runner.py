@@ -36,6 +36,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    locality_scale,
     locality_search,
     organizations,
     scaling_sim,
@@ -65,6 +66,7 @@ REGISTRY: Dict[str, Runner] = {
     "table-1": table1.run,
     "ucl-vs-nucl": ucl_nucl.run,
     "locality-search": locality_search.run,
+    "locality-scale": locality_scale.run,
     "organizations": organizations.run,
     "scaling-sim": scaling_sim.run,
     "ablation-feedback": ablations.run_feedback,

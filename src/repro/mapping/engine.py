@@ -5,34 +5,36 @@ the same move: *swap the processors of two threads and price the change
 in weighted hop-sum*.  This module precomputes everything that pricing
 needs once per (graph, torus) pair —
 
-* the torus distance table (or the on-the-fly fallback above the memory
-  guard, see :meth:`Torus.distance_table`),
-* CSR-style per-thread incident adjacency split into per-thread arrays
-  (:meth:`CommunicationGraph.incident_csr`),
-* per-thread neighbor sets for the cheap "are these two threads
-  adjacent?" test, and
+* the torus distance backend (:func:`repro.topology.torus.distance_backend`:
+  the dense table at small N, the delta-compressed ring-row engine
+  above the memory guard, the digit walk beyond that),
+* CSR-style per-thread incident adjacency
+  (:meth:`CommunicationGraph.incident_csr`), sliced on demand so no
+  per-thread python structures are materialized even at 10**6 threads,
+  and
 * a zero-padded ``(threads, max_degree)`` adjacency matrix for pricing
   many chains' swaps in one batched gather.
 
 A swap's delta is then two vectorized gathers per endpoint: neighbor
-positions -> table rows, dotted with edge weights.  Edges *between* the
-two swapped threads are invariant under the swap (both endpoints move)
-and are masked out, mirroring the loop implementation's ``neighbor ==
-other`` skip.  For integer edge weights every reduction here is exact,
-so deltas — and therefore accept/reject decisions — are bit-identical
-to the per-edge loops in :mod:`repro.mapping.reference`.
+positions -> distance rows, dotted with edge weights.  Edges *between*
+the two swapped threads are invariant under the swap (both endpoints
+move) and are masked out, mirroring the loop implementation's
+``neighbor == other`` skip.  For integer edge weights every reduction
+here is exact, so deltas — and therefore accept/reject decisions — are
+bit-identical to the per-edge loops in :mod:`repro.mapping.reference`,
+whichever distance backend is active.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import MappingError
 from repro.mapping.base import Mapping
 from repro.topology.graphs import CommunicationGraph
-from repro.topology.torus import Torus
+from repro.topology.torus import Torus, distance_backend
 
 __all__ = ["SwapEngine"]
 
@@ -62,33 +64,33 @@ class SwapEngine:
     def __init__(self, graph: CommunicationGraph, torus: Torus):
         self.graph = graph
         self.torus = torus
-        self.table = torus.distance_table()
+        self.backend = distance_backend(torus)
+        self.table = self.backend.table
         self.total_weight = graph.total_weight
-        indptr, neighbors, weights = graph.incident_csr()
-        self.neighbors: List[np.ndarray] = [
-            neighbors[indptr[t] : indptr[t + 1]] for t in range(graph.threads)
-        ]
-        self.weights: List[np.ndarray] = [
-            weights[indptr[t] : indptr[t + 1]] for t in range(graph.threads)
-        ]
-        self.neighbor_sets = [frozenset(row.tolist()) for row in self.neighbors]
+        self._indptr, self._neighbors, self._weights = graph.incident_csr()
         self._padded: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
-    # Distance access (table gather or memory-guard fallback).
+    # Adjacency access (CSR slices, zero-copy views).
+    # ------------------------------------------------------------------
+
+    def incident(self, thread: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, weights)`` of the edges touching ``thread``."""
+        start = self._indptr[thread]
+        end = self._indptr[thread + 1]
+        return self._neighbors[start:end], self._weights[start:end]
+
+    # ------------------------------------------------------------------
+    # Distance access (dense gather, delta gather, or digit walk).
     # ------------------------------------------------------------------
 
     def distances(self, processor: int, others: np.ndarray) -> np.ndarray:
         """Hops from one processor to an array of processors."""
-        if self.table is not None:
-            return self.table[processor, others]
-        return self.torus.pairwise_distance(processor, others)
+        return self.backend.pairwise(processor, others)
 
     def distances_2d(self, processors: np.ndarray, others: np.ndarray) -> np.ndarray:
         """Hops between broadcastable arrays of processors (chain batch)."""
-        if self.table is not None:
-            return self.table[processors, others]
-        return self.torus.pairwise_distance(processors, others)
+        return self.backend.pairwise(processors, others)
 
     # ------------------------------------------------------------------
     # Whole-mapping and per-swap costs.
@@ -97,10 +99,7 @@ class SwapEngine:
     def weighted_hop_sum(self, position: np.ndarray) -> float:
         """Total weighted hops of a mapping (the optimizers' objective)."""
         src, dst, weight = self.graph.edge_arrays()
-        if self.table is not None:
-            hops = self.table[position[src], position[dst]]
-        else:
-            hops = self.torus.pairwise_distance(position[src], position[dst])
+        hops = self.backend.pairwise(position[src], position[dst])
         return float(weight @ hops)
 
     def swap_delta(self, position: np.ndarray, thread_a: int, thread_b: int) -> float:
@@ -114,28 +113,16 @@ class SwapEngine:
         """
         here_a = position[thread_a]
         here_b = position[thread_b]
-        nbr_a = self.neighbors[thread_a]
-        nbr_b = self.neighbors[thread_b]
-        weight_a = self.weights[thread_a]
-        weight_b = self.weights[thread_b]
-        if thread_b in self.neighbor_sets[thread_a]:
+        nbr_a, weight_a = self.incident(thread_a)
+        nbr_b, weight_b = self.incident(thread_b)
+        if thread_b in nbr_a:
             weight_a = weight_a * (nbr_a != thread_b)
             weight_b = weight_b * (nbr_b != thread_a)
         pos_a = position[nbr_a]
         pos_b = position[nbr_b]
-        table = self.table
-        if table is not None:
-            row_a = table[here_a]
-            row_b = table[here_b]
-            gain_a = row_b[pos_a].astype(np.int64) - row_a[pos_a]
-            gain_b = row_a[pos_b].astype(np.int64) - row_b[pos_b]
-        else:
-            gain_a = self.torus.pairwise_distance(
-                here_b, pos_a
-            ) - self.torus.pairwise_distance(here_a, pos_a)
-            gain_b = self.torus.pairwise_distance(
-                here_a, pos_b
-            ) - self.torus.pairwise_distance(here_b, pos_b)
+        pairwise = self.backend.pairwise
+        gain_a = pairwise(here_b, pos_a).astype(np.int64) - pairwise(here_a, pos_a)
+        gain_b = pairwise(here_a, pos_b).astype(np.int64) - pairwise(here_b, pos_b)
         return weight_a @ gain_a + weight_b @ gain_b
 
     # ------------------------------------------------------------------
@@ -148,19 +135,23 @@ class SwapEngine:
         Padding entries have weight 0 and neighbor id 0, so they gather a
         valid (ignored) distance and contribute exactly ``0.0`` to every
         dot product — keeping batched sums equal to the unpadded ones for
-        integer weights.
+        integer weights.  Built by one vectorized scatter from the CSR
+        arrays.
         """
         if self._padded is None:
             threads = self.graph.threads
-            max_degree = max(
-                (row.size for row in self.neighbors), default=0
-            )
+            indptr = self._indptr
+            degrees = np.diff(indptr)
+            max_degree = int(degrees.max()) if degrees.size else 0
             nbr = np.zeros((threads, max(max_degree, 1)), dtype=np.intp)
             wgt = np.zeros((threads, max(max_degree, 1)), dtype=np.float64)
-            for thread in range(threads):
-                row = self.neighbors[thread]
-                nbr[thread, : row.size] = row
-                wgt[thread, : row.size] = self.weights[thread]
+            if self._neighbors.size:
+                rows = np.repeat(np.arange(threads, dtype=np.intp), degrees)
+                cols = np.arange(self._neighbors.size, dtype=np.intp) - np.repeat(
+                    indptr[:-1], degrees
+                )
+                nbr[rows, cols] = self._neighbors
+                wgt[rows, cols] = self._weights
             nbr.setflags(write=False)
             wgt.setflags(write=False)
             self._padded = (nbr, wgt)

@@ -11,8 +11,9 @@ The kernels are vectorized: edge endpoints come from the graph's array
 views (:meth:`CommunicationGraph.edge_arrays`), hop counts are a single
 gather from the torus distance table (:meth:`Torus.distance_table`), and
 the histogram is one weighted ``np.bincount``.  Tori above the distance
-table's memory guard fall back to :meth:`Torus.pairwise_distance`, which
-computes the same hop counts without the quadratic table.  All built-in
+table's memory guard use the delta-compressed backend (per-dimension
+ring rows, O(n * k) memory), which computes the same hop counts without
+the quadratic table.  All built-in
 communication graphs carry integer edge weights, for which the array
 reductions are exact — results equal the per-edge loop bit for bit.
 """
@@ -27,7 +28,7 @@ import numpy as np
 from repro.errors import MappingError
 from repro.mapping.base import Mapping
 from repro.topology.graphs import CommunicationGraph
-from repro.topology.torus import Torus
+from repro.topology.torus import Torus, distance_backend
 
 __all__ = ["average_distance", "distance_histogram", "MappingEvaluation", "evaluate"]
 
@@ -52,15 +53,14 @@ def edge_hop_counts(
 ) -> np.ndarray:
     """Network hops of every edge under ``mapping``, in edge order.
 
-    One gather from the cached distance table when the torus fits the
-    memory guard; the on-the-fly vectorized distance otherwise.
+    One gather through :func:`repro.topology.torus.distance_backend` —
+    the same accessor the swap engine uses, so the memory-guard decision
+    (dense table, delta-compressed rows, or digit walk) is made in
+    exactly one place.
     """
     src, dst, _ = graph.edge_arrays()
     position = np.asarray(mapping.assignment, dtype=np.intp)
-    table = torus.distance_table()
-    if table is not None:
-        return table[position[src], position[dst]]
-    return torus.pairwise_distance(position[src], position[dst])
+    return distance_backend(torus).pairwise(position[src], position[dst])
 
 
 def average_distance(

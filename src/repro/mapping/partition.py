@@ -128,7 +128,7 @@ def recursive_bisection_mapping(
             return
         sub_weights = {
             (src, dst): weight
-            for (src, dst), weight in graph.weights.items()
+            for src, dst, weight in graph.edges()
             if src in thread_set and dst in thread_set
         }
         thread_a, thread_b = bisect(threads, sub_weights)

@@ -12,6 +12,14 @@ directed edges over thread identifiers ``0 .. threads - 1``, where the
 weight of ``(a, b)`` is the relative frequency with which thread ``a``
 sends to thread ``b``.  Weights need not be normalized; consumers work
 with weighted averages.
+
+Graphs come in two physical layouts sharing one interface: the dict of
+``(src, dst) -> weight`` entries that small graphs build edge by edge,
+and the array-backed layout (:meth:`CommunicationGraph.from_arrays`)
+that skips the per-edge dict entirely — the representation million-node
+tori need, where the 2 * n * N edge dict alone would dwarf the arrays.
+Iteration helpers (``edges``, ``out_neighbors``, ``total_weight``) are
+layout-agnostic.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from typing import Dict, Iterable, Iterator, Tuple
 import numpy as np
 
 from repro.errors import TopologyError
-from repro.topology.torus import Torus
+from repro.topology.torus import DISTANCE_TABLE_MAX_NODES, Torus
 
 __all__ = [
     "CommunicationGraph",
@@ -61,14 +69,27 @@ class CommunicationGraph:
                 )
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
-        """All (source, destination, weight) triples."""
-        for (src, dst), weight in self.weights.items():
-            yield src, dst, weight
+        """All (source, destination, weight) triples, in edge order."""
+        if self.weights:
+            for (src, dst), weight in self.weights.items():
+                yield src, dst, weight
+            return
+        src, dst, weight = self.edge_arrays()
+        yield from zip(src.tolist(), dst.tolist(), weight.tolist())
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        if self.weights:
+            return len(self.weights)
+        return self.edge_arrays()[0].size
 
     @property
     def total_weight(self) -> float:
         """Sum of all edge weights (the normalization constant)."""
-        return sum(self.weights.values())
+        if self.weights:
+            return sum(self.weights.values())
+        return float(self.edge_arrays()[2].sum())
 
     def out_neighbors(self, thread: int) -> Iterator[Tuple[int, float]]:
         """Destinations and weights of a thread's outgoing edges."""
@@ -76,9 +97,14 @@ class CommunicationGraph:
             raise TopologyError(
                 f"thread {thread!r} outside 0..{self.threads - 1}"
             )
-        for (src, dst), weight in self.weights.items():
-            if src == thread:
-                yield dst, weight
+        if self.weights:
+            for (src, dst), weight in self.weights.items():
+                if src == thread:
+                    yield dst, weight
+            return
+        src, dst, weight = self.edge_arrays()
+        for index in np.nonzero(src == thread)[0]:
+            yield int(dst[index]), float(weight[index])
 
     def degree_out(self, thread: int) -> int:
         """Number of distinct destinations a thread sends to."""
@@ -155,6 +181,60 @@ class CommunicationGraph:
             weights[edge] = weights.get(edge, 0.0) + weight
         return cls(threads=threads, weights=weights)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        threads: int,
+        sources,
+        destinations,
+        weights=None,
+    ) -> "CommunicationGraph":
+        """Array-backed graph that never materializes the edge dict.
+
+        The large-N constructor: edge endpoints (and optional weights,
+        default 1.0) are validated vectorized and installed directly as
+        the graph's :meth:`edge_arrays` view, so a million-node torus
+        neighbor graph costs three ndarrays instead of millions of dict
+        entries and tuples.  Edges must be distinct — the dict layout
+        would have *accumulated* duplicate weights, so duplicates here
+        are an error rather than a silent behavioral difference.
+        """
+        src = np.array(sources, dtype=np.intp)
+        dst = np.array(destinations, dtype=np.intp)
+        if src.ndim != 1 or dst.ndim != 1 or src.size != dst.size:
+            raise TopologyError(
+                "sources and destinations must be 1-D arrays of equal length"
+            )
+        if weights is None:
+            weight = np.ones(src.size, dtype=np.float64)
+        else:
+            weight = np.array(weights, dtype=np.float64)
+            if weight.shape != src.shape:
+                raise TopologyError(
+                    f"weights shape {weight.shape} does not match "
+                    f"{src.size} edges"
+                )
+        if src.size:
+            if min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= threads:
+                raise TopologyError(
+                    f"edge endpoints outside thread range 0..{threads - 1}"
+                )
+            if np.any(src == dst):
+                offender = int(src[np.argmax(src == dst)])
+                raise TopologyError(
+                    f"self-edge on thread {offender} is not allowed"
+                )
+            if not np.all(weight > 0):
+                raise TopologyError("all edge weights must be positive")
+            keys = np.sort(src * np.intp(threads) + dst)
+            if keys.size > 1 and np.any(keys[1:] == keys[:-1]):
+                raise TopologyError("duplicate edges are not allowed")
+        graph = cls(threads=threads, weights={})
+        for array in (src, dst, weight):
+            array.setflags(write=False)
+        object.__setattr__(graph, "_edge_arrays", (src, dst, weight))
+        return graph
+
 
 def torus_neighbor_graph(radix: int, dimensions: int) -> CommunicationGraph:
     """The paper's synthetic application pattern (Section 3.2).
@@ -165,11 +245,38 @@ def torus_neighbor_graph(radix: int, dimensions: int) -> CommunicationGraph:
     mapping onto the same-shape machine needs only single-hop messages.
     """
     torus = Torus(radix=radix, dimensions=dimensions)
-    edges = []
-    for node in torus.nodes():
-        for neighbor in torus.neighbors(node):
-            edges.append((node, neighbor))
-    return CommunicationGraph.from_edges(torus.node_count, edges)
+    count = torus.node_count
+    if count <= DISTANCE_TABLE_MAX_NODES:
+        edges = []
+        for node in torus.nodes():
+            for neighbor in torus.neighbors(node):
+                edges.append((node, neighbor))
+        return CommunicationGraph.from_edges(count, edges)
+    # Large tori skip the per-edge dict: build the adjacency as arrays in
+    # exactly the order the loop above would have produced — node-major,
+    # within each node [dim 0 +1, dim 0 -1, dim 1 +1, ...], radix-2 rings
+    # contributing only their single (coinciding) neighbor.
+    coords = torus.coordinate_array()
+    nodes = np.arange(count, dtype=np.intp)
+    per_node = dimensions * (2 if radix > 2 else 1)
+    dst = np.empty((count, per_node), dtype=np.intp)
+    column = 0
+    stride = 1
+    for dim in range(dimensions):
+        coord = coords[dim]
+        dst[:, column] = np.where(
+            coord == radix - 1, nodes - (radix - 1) * stride, nodes + stride
+        )
+        column += 1
+        if radix > 2:
+            dst[:, column] = np.where(
+                coord == 0, nodes + (radix - 1) * stride, nodes - stride
+            )
+            column += 1
+        stride *= radix
+    return CommunicationGraph.from_arrays(
+        count, np.repeat(nodes, per_node), dst.reshape(-1)
+    )
 
 
 def ring_graph(threads: int, bidirectional: bool = True) -> CommunicationGraph:

@@ -24,7 +24,16 @@ import numpy as np
 
 from repro.errors import TopologyError
 
-__all__ = ["Torus", "DISTANCE_TABLE_MAX_NODES"]
+__all__ = [
+    "Torus",
+    "DISTANCE_TABLE_MAX_NODES",
+    "DELTA_BACKEND_MAX_NODES",
+    "DistanceBackend",
+    "DenseBackend",
+    "DeltaBackend",
+    "DigitBackend",
+    "distance_backend",
+]
 
 #: Largest torus (in nodes) for which :meth:`Torus.distance_table` will
 #: materialize the full N x N hop-distance table.  At the default cap the
@@ -32,6 +41,13 @@ __all__ = ["Torus", "DISTANCE_TABLE_MAX_NODES"]
 #: it the table accessors return ``None`` and callers fall back to
 #: on-the-fly vectorized distances (:meth:`Torus.pairwise_distance`).
 DISTANCE_TABLE_MAX_NODES = 4096
+
+#: Largest torus (in nodes) for which :func:`distance_backend` keeps the
+#: cached ``(n, N)`` coordinate array resident for delta-compressed
+#: gathers.  At the cap the coordinates cost ``4 * n * 2**24`` bytes
+#: (64 MiB per dimension); beyond it the backend degrades to the
+#: zero-extra-memory digit walk of :meth:`Torus.pairwise_distance`.
+DELTA_BACKEND_MAX_NODES = 1 << 24
 
 
 @functools.lru_cache(maxsize=64)
@@ -45,6 +61,22 @@ def _coordinate_array(radix: int, dimensions: int) -> np.ndarray:
         remaining //= radix
     coords.setflags(write=False)
     return coords
+
+
+@functools.lru_cache(maxsize=64)
+def _ring_distance_row(radix: int) -> np.ndarray:
+    """Ring distance of every coordinate delta: ``row[d] = min(d, k - d)``.
+
+    Indexed modulo ``k``, so a *signed* delta ``a - b`` gathers the right
+    distance via ``np.take(..., mode="wrap")`` — ``row[-d]`` and
+    ``row[d]`` coincide because ring distance is symmetric.  This is the
+    whole delta-compressed distance table: ``n`` such rows (O(n * k)
+    memory) replace the dense N x N table for arbitrarily large tori.
+    """
+    positions = np.arange(radix, dtype=np.int64)
+    row = np.minimum(positions, radix - positions)
+    row.setflags(write=False)
+    return row
 
 
 @functools.lru_cache(maxsize=4)
@@ -313,3 +345,105 @@ class Torus:
     def diameter(self) -> int:
         """Maximum shortest-path distance between any two nodes."""
         return self.dimensions * (self.radix // 2)
+
+
+# ----------------------------------------------------------------------
+# Distance backends.
+#
+# Every consumer that prices hop distances in bulk — the swap engine,
+# mapping evaluation, the annealers — goes through one of these.  The
+# accessor :func:`distance_backend` is the single place where the memory
+# guard is consulted, fixing the historical inconsistency where
+# ``SwapEngine`` cached the guard decision at construction while
+# ``evaluate.py`` re-queried it per call.
+# ----------------------------------------------------------------------
+
+
+class DistanceBackend:
+    """Uniform bulk-distance interface over one torus shape.
+
+    ``pairwise(sources, destinations)`` broadcasts two integer node-id
+    arrays and returns their exact hop distances.  All backends are
+    integer-exact and agree bit for bit with :meth:`Torus.distance`; they
+    differ only in memory/time trade-offs.  ``table`` is the dense
+    N x N array when this backend holds one, else ``None``.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, torus: Torus):
+        self.torus = torus
+        self.table: Optional[np.ndarray] = None
+
+    def pairwise(self, sources, destinations) -> np.ndarray:
+        raise NotImplementedError
+
+
+class DenseBackend(DistanceBackend):
+    """Small-N fast path: one gather from the cached N x N table."""
+
+    kind = "dense"
+
+    def __init__(self, torus: Torus, table: np.ndarray):
+        super().__init__(torus)
+        self.table = table
+
+    def pairwise(self, sources, destinations) -> np.ndarray:
+        return self.table[sources, destinations]
+
+
+class DeltaBackend(DistanceBackend):
+    """Delta-compressed path: per-dimension ring rows over coordinates.
+
+    Memory is O(n * k) for the ring rows plus the O(n * N) coordinate
+    array the vectorized kernels already share; distances are composed
+    by one wrap-mode gather per dimension on the signed coordinate
+    delta.  Exact for every (k, n), including the even-radix half-way
+    ties (``min(d, k - d)`` is direction-free).
+    """
+
+    kind = "delta"
+
+    def __init__(self, torus: Torus):
+        super().__init__(torus)
+        self._coords = torus.coordinate_array()
+        self._ring = _ring_distance_row(torus.radix)
+
+    def pairwise(self, sources, destinations) -> np.ndarray:
+        src = np.asarray(sources, dtype=np.intp)
+        dst = np.asarray(destinations, dtype=np.intp)
+        coords = self._coords
+        ring = self._ring
+        total = np.zeros(np.broadcast(src, dst).shape, dtype=np.int64)
+        for dim in range(self.torus.dimensions):
+            row = coords[dim]
+            total += np.take(ring, row[src] - row[dst], mode="wrap")
+        return total
+
+
+class DigitBackend(DistanceBackend):
+    """Unbounded fallback: the O(1)-extra-memory digit walk."""
+
+    kind = "digit"
+
+    def pairwise(self, sources, destinations) -> np.ndarray:
+        return self.torus.pairwise_distance(sources, destinations)
+
+
+def distance_backend(torus: Torus) -> DistanceBackend:
+    """The bulk-distance backend appropriate for ``torus``'s size.
+
+    The *only* place guard behavior is decided: tori within
+    :data:`DISTANCE_TABLE_MAX_NODES` get the dense table (also the
+    parity oracle for the compressed path), tori within
+    :data:`DELTA_BACKEND_MAX_NODES` get the delta-compressed engine, and
+    anything larger gets the digit walk.  ``torus.distance_table()`` is
+    consulted per call, so runtime adjustments to the module-level cap
+    (as the guard tests do) take effect immediately.
+    """
+    table = torus.distance_table()
+    if table is not None:
+        return DenseBackend(torus, table)
+    if torus.node_count <= DELTA_BACKEND_MAX_NODES:
+        return DeltaBackend(torus)
+    return DigitBackend(torus)

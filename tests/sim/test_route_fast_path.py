@@ -1,0 +1,103 @@
+"""The kernel's arithmetic route fast path and quiescent fast-forward.
+
+``FabricKernel._route_ids`` computes channel ids directly from node
+arithmetic (the light-traffic optimization); ``build_route`` — key
+tuples resolved through the channel index — stays alive as its
+executable specification.  These tests pin the two channel-for-channel
+across shapes, directions, datelines, and ties, and check the
+quiescent early-exit changes nothing observable.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import FabricKernel
+from repro.sim.message import Message, MessageKind
+from repro.topology.torus import Torus
+
+SHAPES = [(2, 1), (2, 3), (3, 2), (4, 2), (5, 1), (5, 3), (8, 2), (6, 2), (4, 3)]
+
+
+def _kernel(radix, dimensions):
+    return FabricKernel(
+        Torus(radix=radix, dimensions=dimensions), on_delivery=lambda r: None
+    )
+
+
+class TestRouteIdParity:
+    @pytest.mark.parametrize("radix,dimensions", SHAPES)
+    def test_all_pairs_match_key_built_routes(self, radix, dimensions):
+        kernel = _kernel(radix, dimensions)
+        index = kernel._channel_index
+        count = kernel.torus.node_count
+        step = 1 if count <= 128 else count // 97
+        for source in range(0, count, step):
+            for destination in range(count):
+                if source == destination:
+                    continue
+                expected = [
+                    index[key]
+                    for key in kernel.build_route(source, destination)
+                ]
+                assert kernel._route_ids(source, destination) == expected
+
+    def test_self_route_rejected(self):
+        kernel = _kernel(4, 2)
+        with pytest.raises(SimulationError):
+            kernel._route_ids(3, 3)
+
+    def test_dateline_vc_switch(self):
+        # A wrapping hop must carry VC 0 on the wrap itself and VC 1
+        # afterwards — exactly the reference's dateline rule.
+        kernel = _kernel(5, 1)
+        index = kernel._channel_index
+        ids = kernel._route_ids(4, 1)  # 4 -> 0 wraps, then 0 -> 1
+        assert ids == [
+            index[("inj", 4)],
+            index[("link", 4, 0, 1, 0)],
+            index[("link", 0, 0, 1, 1)],
+            index[("ej", 1)],
+        ]
+
+
+class TestQuiescentFastForward:
+    def test_idle_ticks_are_noops(self):
+        delivered = []
+        kernel = FabricKernel(
+            Torus(radix=4, dimensions=2), on_delivery=delivered.append
+        )
+        for cycle in range(100):
+            kernel.tick(cycle)
+        assert kernel.quiescent()
+        assert kernel._stall_cycles == 0
+
+    def test_traffic_after_idle_still_delivers(self):
+        delivered = []
+        kernel = FabricKernel(
+            Torus(radix=4, dimensions=2), on_delivery=delivered.append
+        )
+        for cycle in range(50):
+            kernel.tick(cycle)
+        kernel.inject(
+            Message(MessageKind.READ_REQUEST, 0, 5, (0, 0), 0), cycle=50
+        )
+        cycle = 50
+        while not kernel.quiescent():
+            kernel.tick(cycle)
+            cycle += 1
+        assert len(delivered) == 1
+        assert delivered[0].hops == 2
+        for idle in range(cycle, cycle + 20):
+            kernel.tick(idle)
+        assert kernel.quiescent()
+
+    def test_stall_counter_resets_when_idle(self):
+        kernel = FabricKernel(
+            Torus(radix=4, dimensions=2),
+            on_delivery=lambda r: None,
+            stall_limit=5,
+        )
+        # Idle ticks must never accumulate toward the stall limit.
+        for cycle in range(20):
+            kernel.tick(cycle)
+        assert kernel._stall_cycles == 0

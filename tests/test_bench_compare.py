@@ -1,0 +1,70 @@
+"""Unit tests for the repro-bench baseline comparison logic."""
+
+from repro.bench import compare_rows
+
+
+def _tables(rows):
+    return {"simulator": {(r["bench"], r["config"]): r for r in rows}}
+
+
+def _row(bench, wall_s=1.0, speedup=None):
+    return {
+        "bench": bench,
+        "config": "cfg",
+        "wall_s": wall_s,
+        "speedup_vs_reference": speedup,
+    }
+
+
+def test_no_regressions_on_identical_rows():
+    rows = _tables([_row("uniform", 0.5, 1.4)])
+    regressions, notes = compare_rows(rows, rows, 0.2, 0.5)
+    assert regressions == []
+    assert notes == []
+
+
+def test_speedup_drop_beyond_threshold_flagged():
+    base = _tables([_row("uniform", 0.5, 2.0)])
+    fresh = _tables([_row("uniform", 0.5, 1.5)])
+    regressions, _ = compare_rows(base, fresh, 0.2, 0.5)
+    assert len(regressions) == 1
+    assert "uniform" in regressions[0]
+
+
+def test_speedup_drop_within_threshold_passes():
+    base = _tables([_row("uniform", 0.5, 2.0)])
+    fresh = _tables([_row("uniform", 0.5, 1.7)])
+    regressions, _ = compare_rows(base, fresh, 0.2, 0.5)
+    assert regressions == []
+
+
+def test_wall_growth_beyond_threshold_flagged():
+    base = _tables([_row("fig7", wall_s=1.0)])
+    fresh = _tables([_row("fig7", wall_s=2.0)])
+    regressions, _ = compare_rows(base, fresh, 0.2, 0.5)
+    assert len(regressions) == 1
+
+
+def test_speedup_row_ignores_wall_noise():
+    # Rows carrying a speedup are judged on the speedup only; their
+    # wall clock is machine-dependent and may legitimately drift.
+    base = _tables([_row("uniform", wall_s=0.1, speedup=1.5)])
+    fresh = _tables([_row("uniform", wall_s=5.0, speedup=1.5)])
+    regressions, _ = compare_rows(base, fresh, 0.2, 0.5)
+    assert regressions == []
+
+
+def test_missing_and_new_rows_are_notes_not_failures():
+    base = _tables([_row("gone", 1.0)])
+    fresh = _tables([_row("new", 1.0)])
+    regressions, notes = compare_rows(base, fresh, 0.2, 0.5)
+    assert regressions == []
+    assert any("gone" in note for note in notes)
+    assert any("new" in note for note in notes)
+
+
+def test_missing_module_is_a_note():
+    base = _tables([_row("uniform", 1.0)])
+    regressions, notes = compare_rows(base, {}, 0.2, 0.5)
+    assert regressions == []
+    assert any("not run" in note for note in notes)

@@ -90,3 +90,51 @@ class TestOtherGraphs:
     def test_grid_rejects_empty(self):
         with pytest.raises(TopologyError):
             nearest_neighbor_grid_graph(0, 3)
+
+
+class TestArrayBackedGraphs:
+    def test_from_arrays_matches_dict_layout(self):
+        import numpy as np
+
+        dict_graph = ring_graph(6)
+        src, dst, weight = dict_graph.edge_arrays()
+        array_graph = CommunicationGraph.from_arrays(6, src, dst, weight)
+        assert list(array_graph.edges()) == list(dict_graph.edges())
+        assert array_graph.total_weight == dict_graph.total_weight
+        assert array_graph.edge_count == dict_graph.edge_count
+        for thread in range(6):
+            assert list(array_graph.out_neighbors(thread)) == list(
+                dict_graph.out_neighbors(thread)
+            )
+        for ours, theirs in zip(
+            array_graph.incident_csr(), dict_graph.incident_csr()
+        ):
+            assert np.array_equal(ours, theirs)
+
+    def test_from_arrays_default_unit_weights(self):
+        graph = CommunicationGraph.from_arrays(3, [0, 1], [1, 2])
+        assert graph.total_weight == 2.0
+
+    def test_from_arrays_rejects_bad_edges(self):
+        with pytest.raises(TopologyError):
+            CommunicationGraph.from_arrays(3, [0], [3])
+        with pytest.raises(TopologyError):
+            CommunicationGraph.from_arrays(3, [1], [1])
+        with pytest.raises(TopologyError):
+            CommunicationGraph.from_arrays(3, [0, 0], [1, 1])
+        with pytest.raises(TopologyError):
+            CommunicationGraph.from_arrays(3, [0], [1], [0.0])
+
+    def test_large_torus_neighbor_graph_is_array_backed(self):
+        import repro.topology.graphs as graphs_module
+
+        original = graphs_module.DISTANCE_TABLE_MAX_NODES
+        graphs_module.DISTANCE_TABLE_MAX_NODES = 1
+        try:
+            fast = torus_neighbor_graph(4, 2)
+        finally:
+            graphs_module.DISTANCE_TABLE_MAX_NODES = original
+        slow = torus_neighbor_graph(4, 2)
+        assert not fast.weights and slow.weights
+        assert list(fast.edges()) == list(slow.edges())
+        assert fast.total_weight == slow.total_weight
