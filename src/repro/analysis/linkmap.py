@@ -10,12 +10,18 @@ dimension/direction for eyeballing where the load sits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import ParameterError
+from repro.sim.telemetry import TelemetrySummary
 from repro.topology.torus import Torus
 
-__all__ = ["LinkUtilization", "link_utilization", "render_link_heatmap"]
+__all__ = [
+    "LinkUtilization",
+    "link_utilization",
+    "link_utilization_from_telemetry",
+    "render_link_heatmap",
+]
 
 _SHADES = " .:-=+*#%@"
 
@@ -77,6 +83,40 @@ def link_utilization(
                 flits = link_flits.get(key, 0) - baseline.get(key, 0)
                 per_link[key] = flits / window_cycles
     return LinkUtilization(per_link=per_link, window_cycles=window_cycles)
+
+
+def link_utilization_from_telemetry(
+    telemetry: Union[Dict, TelemetrySummary],
+    torus: Torus,
+) -> LinkUtilization:
+    """Per-link utilization from a fabric telemetry snapshot.
+
+    The telemetry's per-channel busy counters already carry virtual
+    channels summed per physical link, so this is a re-keying onto the
+    torus's full link set (links the window never used show as 0) —
+    after which the heatmap/hot-factor machinery applies unchanged.
+    """
+    summary = (
+        telemetry
+        if isinstance(telemetry, TelemetrySummary)
+        else TelemetrySummary(telemetry)
+    )
+    window = summary.total_cycles
+    if window <= 0:
+        raise ParameterError("telemetry window is empty; nothing to map")
+    measured = summary.link_utilization()
+    per_link: Dict[LinkKey, float] = {}
+    for node in torus.nodes():
+        for dim in range(torus.dimensions):
+            for step in (1, -1):
+                key = (node, dim, step)
+                per_link[key] = measured.get(key, 0.0)
+    if len(measured) != len(per_link):
+        raise ParameterError(
+            f"telemetry covers {len(measured)} links but the torus has "
+            f"{len(per_link)}; geometry mismatch"
+        )
+    return LinkUtilization(per_link=per_link, window_cycles=window)
 
 
 def render_link_heatmap(

@@ -8,7 +8,11 @@ closes the loop:
 
 * ``repro-bench snapshot`` copies the current repo-root ``BENCH_*.json``
   files into ``benchmarks/baselines/`` — the committed snapshot that
-  records what the suite measured when the code landed;
+  records what the suite measured when the code landed — and writes a
+  ``baseline_manifest.json`` beside them (via
+  :func:`repro.obs.manifest.build_manifest`) recording the git SHA the
+  rows were measured at and a SHA-256 digest of every copied file, so a
+  baseline's provenance survives the copy;
 * ``repro-bench compare`` diffs fresh rows against that snapshot and
   flags regressions: a kernel-vs-reference speedup that dropped by more
   than the threshold (default 20%), or a wall-clock row that grew by
@@ -17,12 +21,15 @@ closes the loop:
 
 Rows are matched by ``(bench, config)``; rows present on only one side
 are reported but never fail the comparison (benchmarks come and go).
+``load_rows`` globs ``BENCH_*.json`` only, so the manifest beside the
+baselines never enters the comparison.
 """
 
 from __future__ import annotations
 
 import argparse
 import glob
+import hashlib
 import json
 import os
 import shutil
@@ -146,7 +153,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+#: Filename of the provenance record written beside the baselines.
+#: Distinct from the ``BENCH_*`` glob, so ``load_rows`` never sees it.
+BASELINE_MANIFEST = "baseline_manifest.json"
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import build_manifest
+
     paths = sorted(glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))
     if not paths:
         print(
@@ -156,10 +178,25 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         )
         return 2
     os.makedirs(args.baseline_dir, exist_ok=True)
+    digests: Dict[str, str] = {}
     for path in paths:
-        destination = os.path.join(args.baseline_dir, os.path.basename(path))
+        name = os.path.basename(path)
+        destination = os.path.join(args.baseline_dir, name)
         shutil.copyfile(path, destination)
+        digests[name] = _file_sha256(destination)
         print(f"snapshot {path} -> {destination}")
+    manifest = build_manifest(
+        experiments=["bench-snapshot"],
+        parameters={
+            "command": "snapshot",
+            "files": digests,
+            "baseline_dir": args.baseline_dir,
+        },
+    )
+    manifest_path = manifest.write(
+        os.path.join(args.baseline_dir, BASELINE_MANIFEST)
+    )
+    print(f"manifest {manifest_path} (git {manifest.git_sha[:12]})")
     return 0
 
 

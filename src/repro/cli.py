@@ -34,7 +34,20 @@ cycle-level simulator directly:
   seeds (optionally across a process pool with ``--jobs``) and print
   mean / std / 95% CI for every measured metric; ``--json FILE`` dumps
   the per-seed summaries and aggregates, ``--trace DIR`` writes the
-  usual trace + manifest with the replication seeds recorded.
+  usual trace + manifest with the replication seeds recorded, and
+  ``--telemetry`` instruments every replication's fabric
+  (:mod:`repro.sim.telemetry`) and prints the merged per-link
+  utilization, latency distribution, and tree-saturation verdict;
+* ``probe`` — drive one fabric-level workload (uniform / saturated /
+  hotspot50 / tree_saturation) under per-channel telemetry and print
+  the model-vs-measured contention table, the saturation-onset report,
+  and a link-load heatmap; ``--output DIR`` writes ``telemetry.jsonl``,
+  ``heatmap.txt``, ``saturation.json``, and a Chrome trace whose
+  counter tracks carry the per-epoch congestion series.
+
+``repro-locality run <id> --telemetry`` asks experiments that replicate
+on the simulator (currently ``scaling-sim``) to run instrumented and
+append their model-vs-measured contention table.
 """
 
 from __future__ import annotations
@@ -95,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace", metavar="DIR", default=None,
         help="enable observability; write Chrome trace + manifest to DIR",
+    )
+    run_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument simulator replications with per-channel fabric "
+        "telemetry (supported by scaling-sim)",
     )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
@@ -202,9 +220,14 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(identifier: str, quick: bool, verbose: bool = False) -> int:
+def _command_run(
+    identifier: str,
+    quick: bool,
+    verbose: bool = False,
+    telemetry: bool = False,
+) -> int:
     try:
-        result = run_experiment(identifier, quick=quick)
+        result = run_experiment(identifier, quick=quick, telemetry=telemetry)
     except Exception as exc:
         print(f"experiment {identifier} failed: {exc}", file=sys.stderr)
         if verbose:
@@ -401,6 +424,58 @@ def build_sim_parser() -> argparse.ArgumentParser:
         "--trace", metavar="DIR", default=None,
         help="enable observability; write Chrome trace + manifest to DIR",
     )
+    replicate.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument every replication's fabric with per-channel "
+        "telemetry and print the merged congestion summary",
+    )
+    replicate.add_argument(
+        "--telemetry-epoch", type=int, default=256, metavar="L",
+        help="telemetry sampling epoch, network cycles (default: 256)",
+    )
+
+    probe = subparsers.add_parser(
+        "probe",
+        help="drive one fabric workload under per-channel telemetry",
+    )
+    probe.add_argument(
+        "--workload",
+        choices=("uniform", "saturated", "hotspot50", "tree_saturation"),
+        default="tree_saturation",
+        help="injection pattern (default: tree_saturation)",
+    )
+    probe.add_argument(
+        "--radix", type=int, default=8, metavar="K",
+        help="torus radix k (default: 8)",
+    )
+    probe.add_argument(
+        "--dimensions", type=int, default=2, metavar="N",
+        help="torus dimensions n (default: 2)",
+    )
+    probe.add_argument(
+        "--cycles", type=int, default=600, metavar="CYCLES",
+        help="injection window, network cycles; the probe then ticks "
+        "until the fabric drains (default: 600)",
+    )
+    probe.add_argument(
+        "--epoch", type=int, default=64, metavar="L",
+        help="telemetry sampling epoch, network cycles (default: 64)",
+    )
+    probe.add_argument(
+        "--depth-threshold", type=int, default=8, metavar="D",
+        help="queue depth at which a channel counts as saturated "
+        "(default: 8)",
+    )
+    probe.add_argument(
+        "--fabric", choices=("kernel", "reference"), default="kernel",
+        help="fabric implementation to instrument (default: kernel)",
+    )
+    probe.add_argument("--seed", type=int, default=1992)
+    probe.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="write telemetry.jsonl, heatmap.txt, saturation.json, and a "
+        "Chrome trace with per-epoch counter tracks to DIR",
+    )
     return parser
 
 
@@ -411,6 +486,7 @@ def _command_replicate(args) -> int:
     from repro.mapping.strategies import identity_mapping, random_mapping
     from repro.sim.config import SimulationConfig
     from repro.sim.replicate import default_seeds, run_replications
+    from repro.sim.telemetry import TelemetryConfig
     from repro.topology.graphs import torus_neighbor_graph
     from repro.workload.synthetic import build_programs
 
@@ -432,6 +508,11 @@ def _command_replicate(args) -> int:
         else:
             mapping = random_mapping(config.node_count, seed=config.seed)
         seeds = default_seeds(config.seed, args.seeds)
+        telemetry = (
+            TelemetryConfig(epoch_cycles=args.telemetry_epoch)
+            if args.telemetry
+            else None
+        )
         result = run_replications(
             config,
             mapping,
@@ -440,6 +521,7 @@ def _command_replicate(args) -> int:
             jobs=args.jobs,
             warmup=args.warmup,
             measure=args.measure,
+            telemetry=telemetry,
         )
     except ReproError as exc:
         print(f"replicate failed: {exc}", file=sys.stderr)
@@ -458,6 +540,40 @@ def _command_replicate(args) -> int:
             f"± {aggregate.ci95:.4f} (std {aggregate.std:.4f}, "
             f"n={aggregate.n})"
         )
+
+    merged_telemetry = result.merged_telemetry() if args.telemetry else None
+    if merged_telemetry is not None:
+        from repro.sim.telemetry import TelemetrySummary, detect_saturation
+
+        summary = TelemetrySummary(merged_telemetry)
+        link_rho = list(summary.link_utilization().values())
+        mean_rho = sum(link_rho) / len(link_rho) if link_rho else 0.0
+        peak_rho = max(link_rho, default=0.0)
+        print()
+        print(
+            f"telemetry ({summary.label}): {summary.delivered} worms, "
+            f"{summary.epochs} epochs of {summary.epoch_cycles} cycles"
+        )
+        print(
+            f"  link rho mean {mean_rho:.4f}, peak {peak_rho:.4f} "
+            f"(hot factor {peak_rho / mean_rho if mean_rho else 0.0:.1f}x)"
+        )
+        mean_latency = summary.latency_mean()
+        if mean_latency is not None:
+            print(
+                f"  worm latency mean {mean_latency:.1f}, "
+                f"p50 <= {summary.latency_quantile(0.5):g}, "
+                f"p95 <= {summary.latency_quantile(0.95):g} cycles"
+            )
+        report = detect_saturation(summary)
+        if report.saturated:
+            print(
+                f"  tree saturation onset: cycle {report.onset_cycle} "
+                f"(epoch {report.onset_epoch}), peak extent "
+                f"{report.peak_extent} channels"
+            )
+        else:
+            print(f"  {report.render()}")
 
     if args.json:
         payload = {
@@ -484,11 +600,17 @@ def _command_replicate(args) -> int:
                 for name, a in result.aggregates.items()
             },
         }
+        if merged_telemetry is not None:
+            payload["telemetry"] = merged_telemetry
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"summaries written to {args.json}")
 
     if args.trace:
+        if merged_telemetry is not None:
+            from repro.sim.telemetry import emit_trace_counters
+
+            emit_trace_counters(merged_telemetry)
         paths = obs.write_outputs(
             args.trace,
             experiments=["replicate"],
@@ -500,8 +622,140 @@ def _command_replicate(args) -> int:
                 "switching": config.switching,
                 "mapping": args.mapping,
                 "jobs": args.jobs,
+                "telemetry": (
+                    telemetry.as_dict() if telemetry is not None else None
+                ),
             },
             rng_seeds=result.rng,
+        )
+        print(f"trace written to {paths['trace']}")
+        print(f"manifest written to {paths['manifest']}")
+    return 0
+
+
+def _command_probe(args) -> int:
+    import json
+    import os
+
+    from repro.analysis.compare import ContentionComparison, contention_row
+    from repro.analysis.linkmap import (
+        link_utilization_from_telemetry,
+        render_link_heatmap,
+    )
+    from repro.core.network import TorusNetworkModel
+    from repro.errors import ReproError
+    from repro.sim.telemetry import (
+        TelemetryConfig,
+        emit_trace_counters,
+        run_probe,
+        write_telemetry_jsonl,
+    )
+    from repro.topology.torus import Torus
+
+    try:
+        config = TelemetryConfig(
+            epoch_cycles=args.epoch, depth_threshold=args.depth_threshold
+        )
+        result = run_probe(
+            args.workload,
+            radix=args.radix,
+            dimensions=args.dimensions,
+            cycles=args.cycles,
+            telemetry=config,
+            fabric=args.fabric,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"probe failed: {exc}", file=sys.stderr)
+        return 1
+
+    summary = result.summary
+    nodes = args.radix**args.dimensions
+    print(
+        f"{args.workload} probe on the {nodes}-node radix-{args.radix} "
+        f"{args.dimensions}-D torus ({args.fabric} fabric): "
+        f"{result.injected} worms injected over {result.scheduled_cycles} "
+        f"cycles, {result.delivered} delivered, drained at cycle "
+        f"{result.total_cycles} ({summary.epochs} epochs of "
+        f"{args.epoch} cycles)"
+    )
+    if result.message_rate and result.mean_hops and result.mean_flits:
+        # Model-vs-measured contention at the probe's *measured*
+        # operating point (delivered rate, mean hops, mean flits).
+        network = TorusNetworkModel(
+            dimensions=args.dimensions, message_size=result.mean_flits
+        )
+        comparison = ContentionComparison(
+            rows=[
+                contention_row(
+                    args.workload,
+                    network,
+                    summary,
+                    result.message_rate,
+                    result.mean_hops,
+                )
+            ]
+        )
+        print()
+        print(comparison.render())
+    print()
+    print(result.saturation.render())
+    heatmap = None
+    if args.dimensions <= 2:
+        torus = Torus(radix=args.radix, dimensions=args.dimensions)
+        heatmap = render_link_heatmap(
+            link_utilization_from_telemetry(summary, torus), torus
+        )
+        print()
+        print(heatmap)
+
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        jsonl_path = write_telemetry_jsonl(
+            result.snapshot, os.path.join(args.output, "telemetry.jsonl")
+        )
+        print()
+        print(f"telemetry written to {jsonl_path}")
+        saturation_path = os.path.join(args.output, "saturation.json")
+        with open(saturation_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "workload": args.workload,
+                    "radix": args.radix,
+                    "dimensions": args.dimensions,
+                    "fabric": args.fabric,
+                    "injected": result.injected,
+                    "delivered": result.delivered,
+                    "total_cycles": result.total_cycles,
+                    "saturation": result.saturation.as_dict(),
+                },
+                handle,
+                indent=2,
+            )
+        print(f"saturation report written to {saturation_path}")
+        if heatmap is not None:
+            heatmap_path = os.path.join(args.output, "heatmap.txt")
+            with open(heatmap_path, "w", encoding="utf-8") as handle:
+                handle.write(heatmap + "\n")
+            print(f"heatmap written to {heatmap_path}")
+        # Fold the per-epoch congestion series into a Chrome trace whose
+        # counter tracks sit beside the manifest.
+        obs.enable()
+        emit_trace_counters(result.snapshot)
+        paths = obs.write_outputs(
+            args.output,
+            experiments=[f"probe:{args.workload}"],
+            parameters={
+                "command": "probe",
+                "workload": args.workload,
+                "radix": args.radix,
+                "dimensions": args.dimensions,
+                "cycles": args.cycles,
+                "fabric": args.fabric,
+                "seed": args.seed,
+                "telemetry": config.as_dict(),
+            },
+            rng_seeds={"seed": args.seed},
         )
         print(f"trace written to {paths['trace']}")
         print(f"manifest written to {paths['manifest']}")
@@ -516,6 +770,8 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
         obs.enable()
     if args.command == "replicate":
         return _command_replicate(args)
+    if args.command == "probe":
+        return _command_probe(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -529,6 +785,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         if args.run_all:
+            if args.telemetry:
+                parser.error("--telemetry applies to a single experiment")
             code = _command_all(
                 args.quick, jobs=args.jobs, verbose=args.verbose
             )
@@ -537,7 +795,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return code
         if args.experiment is None:
             parser.error("run requires an experiment id or --all")
-        code = _command_run(args.experiment, args.quick, verbose=args.verbose)
+        code = _command_run(
+            args.experiment, args.quick, verbose=args.verbose,
+            telemetry=args.telemetry,
+        )
         if args.trace:
             _write_trace_outputs(args, [args.experiment])
         return code

@@ -48,6 +48,7 @@ from repro.obs.metrics import LATENCY_BUCKETS_SECONDS
 
 __all__ = [
     "REGISTRY",
+    "TELEMETRY_RUNNERS",
     "experiment_ids",
     "resolve_experiment_id",
     "run_experiment",
@@ -78,6 +79,13 @@ REGISTRY: Dict[str, Runner] = {
 }
 
 
+#: Experiments whose drivers accept a ``telemetry`` keyword — fabric
+#: instrumentation threaded through their simulator replications (see
+#: :mod:`repro.sim.telemetry`).  ``repro-locality run --telemetry``
+#: resolves against this set.
+TELEMETRY_RUNNERS = frozenset({"scaling-sim"})
+
+
 def experiment_ids() -> List[str]:
     """All known experiment identifiers, paper artifacts first."""
     return list(REGISTRY)
@@ -106,14 +114,18 @@ def resolve_experiment_id(identifier: str) -> str:
     return aliases.get(_normalize(identifier), identifier)
 
 
-def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(
+    identifier: str, quick: bool = False, telemetry: bool = False
+) -> ExperimentResult:
     """Run one experiment by id, attaching perf diagnostics to the result.
 
     Counters are snapshotted before the driver and the delta is computed
     on *every* exit path, so a raising experiment still accounts for the
     solver work it did: the partial delta (with a ``failed`` marker and
     wall time) is attached to the exception as ``partial_perf`` for the
-    CLI to report.
+    CLI to report.  ``telemetry`` asks the driver to instrument its
+    simulator replications with per-channel fabric telemetry; only the
+    experiments in :data:`TELEMETRY_RUNNERS` support it.
     """
     identifier = resolve_experiment_id(identifier)
     runner = REGISTRY.get(identifier)
@@ -122,6 +134,12 @@ def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
         raise ParameterError(
             f"unknown experiment {identifier!r}; known: {known}"
         )
+    if telemetry and identifier not in TELEMETRY_RUNNERS:
+        supported = ", ".join(sorted(TELEMETRY_RUNNERS))
+        raise ParameterError(
+            f"experiment {identifier!r} does not support --telemetry; "
+            f"supported: {supported}"
+        )
     collecting = obs.is_enabled()
     mark = obs.trace_mark() if collecting else 0
     before = perf.snapshot()
@@ -129,7 +147,10 @@ def run_experiment(identifier: str, quick: bool = False) -> ExperimentResult:
     result: Optional[ExperimentResult] = None
     try:
         with obs.span("experiment", experiment=identifier, quick=bool(quick)):
-            result = runner(quick)
+            if telemetry:
+                result = runner(quick, telemetry=True)
+            else:
+                result = runner(quick)
     except BaseException as exc:
         elapsed = time.perf_counter() - started
         exc.partial_perf = dict(

@@ -14,10 +14,18 @@ Each point is replicated under several root seeds
 estimates come from the *first* seed — exactly the old single-seed run,
 so nothing shifts — and the 95% confidence half-widths ride alongside in
 the data series and the table's ± column.
+
+With ``telemetry=True`` every replication's fabric runs instrumented
+(:mod:`repro.sim.telemetry`) and a second table compares the model's
+contention inputs — Eq 10's channel utilization evaluated at each
+point's *measured* rate and distance — against the telemetry's per-link
+busy counters (mean and peak), isolating the contention equations from
+workload-prediction error.
 """
 
 from __future__ import annotations
 
+from repro.analysis.compare import ContentionComparison, contention_row
 from repro.analysis.tables import render_table
 from repro.core.combined import solve
 from repro.core.limits import limiting_per_hop_latency
@@ -27,6 +35,7 @@ from repro.experiments.validation_data import validation_report
 from repro.mapping.strategies import random_mapping
 from repro.sim.config import SimulationConfig
 from repro.sim.replicate import default_seeds, run_replications
+from repro.sim.telemetry import TelemetryConfig
 from repro.topology.graphs import torus_neighbor_graph
 from repro.workload.synthetic import build_programs
 
@@ -35,13 +44,14 @@ __all__ = ["run"]
 CONTEXTS = 2
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, telemetry: bool = False) -> ExperimentResult:
     """Sweep machine radix; measure d, rho, T_m; compare to the model.
 
     The application message curve is a property of the application,
     processor, and protocol — not of the machine size — so the node
     model fitted on the 64-node validation suite applies unchanged at
-    every radix here.
+    every radix here.  ``telemetry`` instruments every replication's
+    fabric and appends the model-vs-measured contention table.
     """
     radices = (4, 8) if quick else (4, 6, 8, 12)
     windows = dict(
@@ -59,6 +69,8 @@ def run(quick: bool = False) -> ExperimentResult:
     )
 
     replications = 2 if quick else 3
+    telemetry_config = TelemetryConfig() if telemetry else None
+    contention_rows = []
     rows = []
     series = {
         "nodes": [], "distance": [], "rho": [],
@@ -76,11 +88,25 @@ def run(quick: bool = False) -> ExperimentResult:
         result = run_replications(
             config, mapping, programs,
             seeds=default_seeds(config.seed, replications),
+            telemetry=telemetry_config,
         )
         # Point estimates come from the first seed (the old single-seed
         # run); the replications contribute only the spread.
         summary = result.summaries[0]
         model_point = solve(node, network, summary.mean_message_hops)
+        if telemetry_config is not None:
+            # Contention check at the measured operating point: the
+            # merged telemetry covers all replications, so measured rho
+            # is the cross-seed mean and peak the cross-seed peak.
+            contention_rows.append(
+                contention_row(
+                    f"{config.node_count}n radix-{radix}",
+                    network,
+                    result.merged_telemetry(),
+                    summary.message_rate,
+                    summary.mean_message_hops,
+                )
+            )
         series["nodes"].append(config.node_count)
         series["distance"].append(summary.mean_message_hops)
         series["rho"].append(summary.channel_utilization)
@@ -119,18 +145,29 @@ def run(quick: bool = False) -> ExperimentResult:
         ),
     )
 
+    tables = [table]
+    notes = [
+        "Distance, utilization, and message latency all rise with "
+        "machine size under random mappings — the simulated onset of "
+        "the Figure 6 approach to the Eq 16 bound.",
+        "The measured per-hop column is an upper-ish estimate: it "
+        "attributes ejection-side and destination-controller "
+        "queueing to the hops, which the model books under the "
+        "node-channel term instead.",
+    ]
+    if contention_rows:
+        comparison = ContentionComparison(rows=contention_rows)
+        tables.append(comparison.render())
+        notes.append(
+            "The contention table evaluates Eq 10/11 at each point's "
+            "measured rate and distance against the fabric telemetry's "
+            "per-link busy counters; the peak column shows the hot-link "
+            "spread a single-rho model cannot express."
+        )
     return ExperimentResult(
         experiment="scaling-sim",
         title="Machine-size scaling measured on the simulator",
-        tables=[table],
-        notes=[
-            "Distance, utilization, and message latency all rise with "
-            "machine size under random mappings — the simulated onset of "
-            "the Figure 6 approach to the Eq 16 bound.",
-            "The measured per-hop column is an upper-ish estimate: it "
-            "attributes ejection-side and destination-controller "
-            "queueing to the hops, which the model books under the "
-            "node-channel term instead.",
-        ],
+        tables=tables,
+        notes=notes,
         data=series,
     )

@@ -46,6 +46,7 @@ __all__ = [
     # spans
     "span",
     "trace",
+    "trace_counter",
     "trace_mark",
     "spans_since",
     "ingest_spans",
@@ -127,6 +128,17 @@ def trace() -> TraceBuffer:
     return _STATE.trace
 
 
+def trace_counter(name: str, ts_us: float, values: Dict) -> None:
+    """Record one counter sample (Chrome ph="C"); no-op when disabled.
+
+    ``values`` is a flat name→number mapping; ``ts_us`` the sample's
+    timestamp in trace microseconds (callers with cycle-based timebases
+    map one cycle to one microsecond).
+    """
+    if _STATE.enabled:
+        _STATE.trace.add_counter(name, ts_us, values)
+
+
 def trace_mark() -> int:
     return _STATE.trace.mark()
 
@@ -141,14 +153,19 @@ def ingest_spans(records: Iterable[Dict]) -> int:
 
 
 def ingest_worker_payloads(payloads: Iterable[Optional[Dict]]) -> int:
-    """Merge ``{"pid", "spans"}`` payloads shipped back by pool workers.
+    """Merge ``{"pid", "spans"[, "histograms"]}`` pool-worker payloads.
 
     The shared pool-worker convention (campaign runner, replication
     harness): each worker records spans into a fresh buffer and returns
     them stamped with its pid; the parent folds them in here, skipping
     payloads stamped with its *own* pid (a worker that ran serially, or
-    a fork that shipped inherited spans back).  Returns the number of
-    span records merged.
+    a fork that shipped inherited spans back).  A payload may also carry
+    ``"histograms"`` — :meth:`MetricsRegistry.snapshot_histograms` state
+    accumulated in the worker — which is folded into the parent
+    ``REGISTRY`` bucket-for-bucket, so distributions (e.g. the fabric
+    telemetry's worm-latency histogram) are identical whether the
+    replications ran serially or across ``--jobs`` workers.  Returns the
+    number of span records merged.
     """
     own_pid = os.getpid()
     merged = 0
@@ -156,6 +173,9 @@ def ingest_worker_payloads(payloads: Iterable[Optional[Dict]]) -> int:
         if not payload or payload.get("pid") == own_pid:
             continue
         merged += ingest_spans(payload.get("spans", ()))
+        histograms = payload.get("histograms")
+        if histograms:
+            REGISTRY.merge_histograms(histograms)
     return merged
 
 

@@ -204,6 +204,43 @@ class MetricsRegistry:
         for name, value in values.items():
             self.counter(name).inc(int(value))
 
+    def snapshot_histograms(self) -> Dict[str, Dict]:
+        """Only the histograms, as plain dicts (pool-worker payloads)."""
+        return {
+            name: metric.as_dict()
+            for name, metric in sorted(self._metrics.items())
+            if isinstance(metric, Histogram)
+        }
+
+    def merge_histograms(self, values: Dict[str, Dict]) -> None:
+        """Fold serialized histograms into same-named ones bucket-for-bucket.
+
+        ``values`` maps names to :meth:`Histogram.as_dict` payloads
+        (what :meth:`snapshot_histograms` produces on the other side of
+        a process boundary).  Unknown names are registered with the
+        payload's bounds; known names must agree on bounds — merging
+        across different bucketings would silently misplace counts, so
+        a mismatch raises :class:`~repro.errors.ParameterError`.
+        """
+        for name, data in sorted(values.items()):
+            bounds = tuple(float(b) for b in data["buckets"])
+            histogram = self.histogram(name, bounds)
+            if histogram.buckets != bounds:
+                raise ParameterError(
+                    f"histogram {name!r} bucket bounds mismatch: "
+                    f"registered {histogram.buckets}, payload {bounds}"
+                )
+            counts = data["counts"]
+            if len(counts) != len(histogram.counts):
+                raise ParameterError(
+                    f"histogram {name!r} payload has {len(counts)} "
+                    f"counts, expected {len(histogram.counts)}"
+                )
+            for index, value in enumerate(counts):
+                histogram.counts[index] += int(value)
+            histogram.count += int(data["count"])
+            histogram.sum += float(data["sum"])
+
     def reset(self) -> None:
         """Zero every registered metric (registrations are kept)."""
         for metric in self._metrics.values():

@@ -96,6 +96,7 @@ class TraceBuffer:
         self.tid = threading.get_ident() & 0xFFFF
         self.epoch = time.perf_counter()
         self.spans: List[Dict] = []
+        self.counters: List[Dict] = []
         self._stack: List[int] = []
         self._counter = 0
 
@@ -109,6 +110,24 @@ class TraceBuffer:
 
     def span(self, name: str, attrs: Dict) -> Span:
         return Span(self, name, attrs)
+
+    def add_counter(self, name: str, ts_us: float, values: Dict) -> None:
+        """Record one counter sample (Chrome trace ph="C" event).
+
+        ``ts_us`` is the sample's timestamp in trace microseconds —
+        callers with their own timebase (e.g. the fabric telemetry's
+        network cycles) map one unit to one microsecond, which lands the
+        series on a readable scale next to the spans.  ``values`` must
+        be a flat name→number mapping (what Perfetto stacks per track).
+        """
+        self.counters.append(
+            {
+                "name": name,
+                "ts": float(ts_us),
+                "pid": self.pid,
+                "values": dict(values),
+            }
+        )
 
     # ------------------------------------------------------------------
     # Queries and cross-process merge.
@@ -141,8 +160,8 @@ class TraceBuffer:
     # ------------------------------------------------------------------
 
     def chrome_trace_events(self) -> List[Dict]:
-        """Spans as Chrome trace "complete" (ph=X) events, microseconds."""
-        return [
+        """Spans (ph=X) plus counter samples (ph=C), microseconds."""
+        events = [
             {
                 "name": record["name"],
                 "cat": record["name"].split(".", 1)[0],
@@ -155,6 +174,18 @@ class TraceBuffer:
             }
             for record in sorted(self.spans, key=lambda r: (r["pid"], r["start"]))
         ]
+        events.extend(
+            {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ph": "C",
+                "ts": record["ts"],
+                "pid": record["pid"],
+                "args": dict(record["values"]),
+            }
+            for record in sorted(self.counters, key=lambda r: (r["pid"], r["ts"]))
+        )
+        return events
 
     def write_chrome_trace(self, path: str) -> str:
         """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""

@@ -30,6 +30,17 @@ from repro.sim.replicate import (
     run_replications,
 )
 from repro.sim.stats import MachineStats, MeasurementSummary
+from repro.sim.telemetry import (
+    FabricTelemetry,
+    ProbeResult,
+    SaturationReport,
+    TelemetryConfig,
+    TelemetrySummary,
+    detect_saturation,
+    merge_snapshots,
+    run_probe,
+    write_telemetry_jsonl,
+)
 from repro.sim.trace import MachineSample, TraceEvent, Tracer
 
 __all__ = [
@@ -60,4 +71,13 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "MachineSample",
+    "TelemetryConfig",
+    "FabricTelemetry",
+    "TelemetrySummary",
+    "SaturationReport",
+    "ProbeResult",
+    "detect_saturation",
+    "merge_snapshots",
+    "run_probe",
+    "write_telemetry_jsonl",
 ]

@@ -44,10 +44,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.message import Message
+from repro.sim.telemetry import FabricTelemetry, TelemetryConfig
 from repro.topology.torus import Torus
 
 __all__ = ["Transit", "CutThroughFabric"]
@@ -138,6 +139,8 @@ class CutThroughFabric:
         self._delivery_count = 0
         self._in_flight = 0
         self.delivered_count = 0
+        #: Optional per-channel instrumentation (see :mod:`..telemetry`).
+        self._telemetry: Optional[FabricTelemetry] = None
 
     # ------------------------------------------------------------------
     # Routing.
@@ -196,7 +199,31 @@ class CutThroughFabric:
     # Per-cycle advance.
     # ------------------------------------------------------------------
 
+    def attach_telemetry(self, config: TelemetryConfig) -> FabricTelemetry:
+        """Attach per-channel instrumentation (see :mod:`..telemetry`)."""
+        if self._telemetry is not None:
+            raise SimulationError("telemetry already attached to this fabric")
+        self._telemetry = FabricTelemetry(
+            config=config,
+            channels=len(self._free_at),
+            link_of=self._link_of,
+            link_keys=self._link_keys,
+            depth_probe=self._queue_depths,
+            label="cut_through",
+        )
+        return self._telemetry
+
+    def _queue_depths(self) -> List[int]:
+        """Waiting messages per channel FIFO (telemetry epoch sampling)."""
+        return [len(queue) for queue in self._queues]
+
     def tick(self, cycle: int) -> None:
+        # Telemetry epoch roll first (before deliveries and the empty-
+        # pending early return), so boundaries sample end-of-previous-
+        # cycle state.
+        telemetry = self._telemetry
+        if telemetry is not None and cycle >= telemetry.epoch_end:
+            telemetry.roll_to(cycle)
         # Complete deliveries scheduled for this cycle.  Delivery
         # callbacks may inject replies, which land on self._pending
         # before it is read below — same-cycle eligibility, exactly as
@@ -209,6 +236,10 @@ class CutThroughFabric:
                     transit.message.delivered_at = cycle
                     self.delivered_count += 1
                     self._in_flight -= 1
+                    if telemetry is not None:
+                        telemetry.record_delivery(
+                            cycle - transit.message.injected_at
+                        )
                     self.on_delivery(transit)
 
         # Grant channels.  Each channel serves one message at a time for
@@ -241,6 +272,10 @@ class CutThroughFabric:
     def _grant(self, transit: Transit, channel: int, cycle: int) -> None:
         flits = transit.message.flits
         self._free_at[channel] = cycle + flits
+        if self._telemetry is not None:
+            # Busy flit-cycles at grant time, every channel (the service
+            # occupancy just booked into _free_at).
+            self._telemetry.channel_flits[channel] += flits
         hop = transit.next_hop
         if hop == 0:
             transit.source_wait = cycle - transit.message.injected_at

@@ -73,6 +73,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.message import Message
+from repro.sim.telemetry import FabricTelemetry, TelemetryConfig
 from repro.topology.torus import Torus
 
 __all__ = ["DeliveredWorm", "FabricKernel"]
@@ -206,6 +207,9 @@ class FabricKernel:
         self._queued_count = 0
         self._in_flight_count = 0
         self.delivered_count = 0
+        #: Optional per-channel instrumentation; ``None`` keeps the hot
+        #: loop at one guarded branch per tick and per grant.
+        self._telemetry: Optional[FabricTelemetry] = None
 
     # ------------------------------------------------------------------
     # Route construction.
@@ -415,8 +419,40 @@ class FabricKernel:
     # Per-cycle advance.
     # ------------------------------------------------------------------
 
+    def attach_telemetry(self, config: TelemetryConfig) -> FabricTelemetry:
+        """Attach per-channel instrumentation (see :mod:`..telemetry`)."""
+        if self._telemetry is not None:
+            raise SimulationError("telemetry already attached to this fabric")
+        self._telemetry = FabricTelemetry(
+            config=config,
+            channels=len(self._owner),
+            link_of=self._link_of,
+            link_keys=self._link_keys,
+            depth_probe=self._queue_depths,
+            label="kernel",
+        )
+        return self._telemetry
+
+    def _queue_depths(self) -> List[int]:
+        """Waiting worms per channel FIFO (telemetry epoch sampling)."""
+        w_next = self._w_next
+        depths = [0] * len(self._queue_head)
+        for channel, head in enumerate(self._queue_head):
+            depth = 0
+            while head != -1:
+                depth += 1
+                head = w_next[head]
+            depths[channel] = depth
+        return depths
+
     def tick(self, cycle: int) -> None:
         """Advance the fabric by one network cycle."""
+        # Telemetry epoch roll happens before anything else (including
+        # the quiescent fast-forward), so epoch boundaries always sample
+        # end-of-previous-cycle state — cycle-exact with the reference.
+        telemetry = self._telemetry
+        if telemetry is not None and cycle >= telemetry.epoch_end:
+            telemetry.roll_to(cycle)
         # Quiescent fast-forward: with nothing owned, queued, draining,
         # or pending, a cycle is a guaranteed no-op (the full body would
         # skip both phases and reset the stall counter) — return before
@@ -551,6 +587,9 @@ class FabricKernel:
             route_flat = self._route_flat
             link_of = self._link_of
             link_flit_counts = self._link_flit_counts
+            telemetry_flits = (
+                None if telemetry is None else telemetry.channel_flits
+            )
             drain_add = self._drain_add
             # Count deltas accumulate in locals (attribute stores on
             # every grant are measurable); written back after the loop,
@@ -599,6 +638,11 @@ class FabricKernel:
                 link = link_of[channel]
                 if link >= 0:
                     link_flit_counts[link] += flits
+                if telemetry_flits is not None:
+                    # Busy flit-cycles, booked at acquisition (the same
+                    # convention as the per-link flit counters above,
+                    # but for every channel including inj/ej).
+                    telemetry_flits[channel] += flits
                 route_start = w_route_start[slot]
                 # This movement completes route channel moves - flits,
                 # if any (the movement invariant).
@@ -691,6 +735,10 @@ class FabricKernel:
         message = self._w_message[slot]
         message.delivered_at = cycle
         self.delivered_count += 1
+        if self._telemetry is not None:
+            self._telemetry.record_delivery(
+                cycle - self._w_injected_at[slot]
+            )
         record = DeliveredWorm(
             message=message,
             hops=self._w_route_len[slot] - 2,

@@ -131,6 +131,7 @@ class Machine:
             self.fabric = CutThroughFabric(self.torus, on_delivery=self._deliver)
         self._cycle = 0
         self.tracer = None
+        self.telemetry = None
 
         # Event-driven engine scheduling: controllers whose engine went
         # from idle to busy this cycle land on ``_engine_ready`` (via the
@@ -228,6 +229,22 @@ class Machine:
         self.tracer = tracer
         self.stats.listener = tracer
 
+    def attach_telemetry(self, config) -> object:
+        """Attach per-channel fabric telemetry (see :mod:`.telemetry`).
+
+        Must be called before :meth:`run`; the resulting snapshot rides
+        on the returned summary's ``telemetry`` attribute.  Raises for
+        fabrics that don't support instrumentation.
+        """
+        attach = getattr(self.fabric, "attach_telemetry", None)
+        if attach is None:
+            raise SimulationError(
+                f"fabric {type(self.fabric).__name__} does not support "
+                "telemetry"
+            )
+        self.telemetry = attach(config)
+        return self.telemetry
+
     def step(self) -> None:
         """Advance the machine one network cycle."""
         cycle = self._cycle
@@ -314,6 +331,8 @@ class Machine:
                     self.step()
 
             self.stats.stop_measuring(self._cycle)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self._cycle)
         if obs.is_enabled():
             obs.REGISTRY.counter(
                 "sim.cycles", help="network cycles stepped by Machine.run"
@@ -330,11 +349,14 @@ class Machine:
     def summary(self) -> MeasurementSummary:
         """Reduce the measured window to model-facing quantities."""
         physical_links = self.torus.node_count * 2 * self.torus.dimensions
-        return self.stats.summary(
+        summary = self.stats.summary(
             link_flits=self.fabric.link_flits,
             physical_links=physical_links,
             network_speedup=self.config.network_speedup,
         )
+        if self.telemetry is not None and self.telemetry.finalized:
+            summary.telemetry = self.telemetry.snapshot()
+        return summary
 
     @property
     def cycle(self) -> int:

@@ -28,6 +28,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.message import Message
+from repro.sim.telemetry import FabricTelemetry, TelemetryConfig
 from repro.topology.torus import Torus
 
 __all__ = ["ReferenceWorm", "ReferenceTorusFabric"]
@@ -154,6 +155,8 @@ class ReferenceTorusFabric:
         self._link_flit_counts = [0] * len(self._link_keys)
         self._route_cache: Dict[Tuple[int, int], List[int]] = {}
         self.delivered_count = 0
+        #: Optional per-channel instrumentation (see :mod:`..telemetry`).
+        self._telemetry: Optional[FabricTelemetry] = None
 
     # ------------------------------------------------------------------
     # Route construction.
@@ -237,8 +240,31 @@ class ReferenceTorusFabric:
     # Per-cycle advance.
     # ------------------------------------------------------------------
 
+    def attach_telemetry(self, config: TelemetryConfig) -> FabricTelemetry:
+        """Attach per-channel instrumentation (see :mod:`..telemetry`)."""
+        if self._telemetry is not None:
+            raise SimulationError("telemetry already attached to this fabric")
+        self._telemetry = FabricTelemetry(
+            config=config,
+            channels=len(self._owner),
+            link_of=self._link_of,
+            link_keys=self._link_keys,
+            depth_probe=self._queue_depths,
+            label="reference",
+        )
+        return self._telemetry
+
+    def _queue_depths(self) -> List[int]:
+        """Waiting worms per channel FIFO (telemetry epoch sampling)."""
+        return [len(queue) for queue in self._queues]
+
     def tick(self, cycle: int) -> None:
         """Advance the fabric by one network cycle."""
+        # Telemetry epoch roll first, so boundaries sample end-of-
+        # previous-cycle state — cycle-exact with the kernel.
+        telemetry = self._telemetry
+        if telemetry is not None and cycle >= telemetry.epoch_end:
+            telemetry.roll_to(cycle)
         progressed = False
 
         # Phase 1: drain worms whose heads have arrived; the destination
@@ -323,6 +349,10 @@ class ReferenceTorusFabric:
             # statistics are window averages, so the timing skew of at
             # most B cycles is negligible).
             self._link_flit_counts[link] += worm.flits
+        if self._telemetry is not None:
+            # Same acquisition-time convention, every channel (inj/ej
+            # included) — busy flit-cycles for the telemetry epochs.
+            self._telemetry.channel_flits[channel] += worm.flits
         self._release_completed(worm)
         if worm.head == len(worm.route) - 1:
             if worm.moves >= worm.last_acquire_move + worm.flits:
@@ -367,6 +397,10 @@ class ReferenceTorusFabric:
             worm.released += 1
         worm.message.delivered_at = cycle
         self.delivered_count += 1
+        if self._telemetry is not None:
+            self._telemetry.record_delivery(
+                cycle - worm.message.injected_at
+            )
         self.on_delivery(worm)
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ from repro.mapping.base import Mapping
 from repro.sim.config import SimulationConfig
 from repro.sim.machine import Machine
 from repro.sim.stats import MeasurementSummary
+from repro.sim.telemetry import TelemetryConfig, merge_snapshots
 from repro.workload.base import ThreadProgram
 
 __all__ = [
@@ -94,6 +95,21 @@ class ReplicationResult:
         aggregate = self.aggregates.get(metric)
         return aggregate.ci95 if aggregate else None
 
+    def telemetry_snapshots(self) -> List[Dict]:
+        """Per-seed telemetry snapshots (empty if telemetry was off)."""
+        return [
+            summary.telemetry
+            for summary in self.summaries
+            if summary.telemetry is not None
+        ]
+
+    def merged_telemetry(self) -> Optional[Dict]:
+        """All replications' telemetry as one merged snapshot, or None."""
+        snapshots = self.telemetry_snapshots()
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
 
 def default_seeds(root_seed: int, count: int) -> Tuple[int, ...]:
     """``root, root+1, ...`` — replication 0 is the old single-seed run."""
@@ -143,18 +159,37 @@ def _run_single(arguments) -> Tuple[MeasurementSummary, Optional[Dict]]:
     programs, so no further isolation is needed here — the *serial*
     caller is the one that must copy.
     """
-    config, mapping, programs, seed, warmup, measure, collect_obs = arguments
+    (
+        config,
+        mapping,
+        programs,
+        seed,
+        warmup,
+        measure,
+        collect_obs,
+        telemetry,
+    ) = arguments
     if collect_obs:
         # Fork-started workers inherit the parent's trace buffer; start
         # fresh so this worker's spans carry its own pid exactly once.
+        # The metrics registry is reset for the same reason: histograms
+        # accumulated here ship back on the payload, and inherited (or
+        # previous-task) state must not ride along twice.
         obs.enable()
         obs.reset()
+        obs.REGISTRY.reset()
     mark = obs.trace_mark() if collect_obs else 0
     with obs.span("replication", seed=seed):
         machine = Machine(config.with_seed(seed), mapping, programs)
+        if telemetry is not None:
+            machine.attach_telemetry(telemetry)
         summary = machine.run(warmup=warmup, measure=measure)
     payload = (
-        {"pid": os.getpid(), "spans": obs.spans_since(mark)}
+        {
+            "pid": os.getpid(),
+            "spans": obs.spans_since(mark),
+            "histograms": obs.REGISTRY.snapshot_histograms(),
+        }
         if collect_obs
         else None
     )
@@ -169,20 +204,35 @@ def run_replications(
     jobs: int = 1,
     warmup: Optional[int] = None,
     measure: Optional[int] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ReplicationResult:
     """Run one machine configuration under each seed and aggregate.
 
     ``jobs > 1`` fans the replications over a process pool (falling back
     to the serial path when the platform cannot start one); results and
     aggregates are identical either way.  ``warmup`` / ``measure``
-    override the config's windows, as with :meth:`Machine.run`.
+    override the config's windows, as with :meth:`Machine.run`.  With a
+    ``telemetry`` config each replication's machine runs instrumented
+    and its snapshot rides on the per-seed summary (merge across seeds
+    with :meth:`ReplicationResult.merged_telemetry`); with observability
+    on, pool workers additionally ship their histogram state back for
+    the jobs-invariant registry merge.
     """
     seeds = tuple(int(seed) for seed in seeds)
     if not seeds:
         raise ParameterError("need at least one replication seed")
     collect_obs = obs.is_enabled()
     work = [
-        (config, mapping, programs, seed, warmup, measure, collect_obs)
+        (
+            config,
+            mapping,
+            programs,
+            seed,
+            warmup,
+            measure,
+            collect_obs,
+            telemetry,
+        )
         for seed in seeds
     ]
     outcomes: Optional[List[Tuple[MeasurementSummary, Optional[Dict]]]] = None
@@ -213,6 +263,7 @@ def run_replications(
                         warmup,
                         measure,
                         False,
+                        telemetry,
                     )
                 )
                 for seed in seeds

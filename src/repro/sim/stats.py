@@ -49,19 +49,27 @@ class MeasurementSummary:
     # Processor-level
     idle_fraction: Optional[float]
     context_switches: int
+    #: Per-channel telemetry snapshot (see :mod:`repro.sim.telemetry`);
+    #: attached by :meth:`Machine.summary` when telemetry was enabled.
+    #: Structured (not a scalar), so it is excluded from :meth:`as_dict`
+    #: and therefore from replication aggregation.
+    telemetry: Optional[Dict] = field(default=None, repr=False, compare=False)
 
     @property
     def transactions(self) -> int:
         return self.remote_transactions + self.local_transactions
 
     def as_dict(self) -> Dict[str, Optional[float]]:
-        """All measured fields by name, plus derived ``transactions``.
+        """All measured *scalar* fields by name, plus ``transactions``.
 
         The replication harness aggregates over these; ``None`` fields
         (windows with no relevant events) stay ``None`` and are skipped
-        by the aggregator.
+        by the aggregator.  The structured ``telemetry`` snapshot is
+        excluded — it merges via
+        :func:`repro.sim.telemetry.merge_snapshots`, not by averaging.
         """
         data = dict(vars(self))
+        data.pop("telemetry", None)
         data["transactions"] = self.transactions
         return data
 

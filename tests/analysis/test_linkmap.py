@@ -2,11 +2,17 @@
 
 import pytest
 
-from repro.analysis.linkmap import link_utilization, render_link_heatmap
+from repro.analysis.linkmap import (
+    link_utilization,
+    link_utilization_from_telemetry,
+    render_link_heatmap,
+)
 from repro.errors import ParameterError
 from repro.mapping.strategies import identity_mapping, random_mapping
 from repro.sim.config import SimulationConfig
+from repro.sim.kernel import FabricKernel
 from repro.sim.machine import Machine
+from repro.sim.telemetry import TelemetryConfig, run_probe
 from repro.topology.torus import Torus
 from repro.topology.graphs import torus_neighbor_graph
 from repro.workload.synthetic import build_programs
@@ -109,3 +115,52 @@ class TestHeatmapRendering:
         util = link_utilization({}, torus, 100)
         with pytest.raises(ParameterError):
             render_link_heatmap(util, torus)
+
+
+class TestTelemetryLinkmap:
+    @staticmethod
+    def probe():
+        return run_probe(
+            "hotspot50", radix=4, cycles=200,
+            telemetry=TelemetryConfig(epoch_cycles=32),
+        )
+
+    def test_covers_every_physical_link(self):
+        result = self.probe()
+        torus = Torus(radix=4, dimensions=2)
+        util = link_utilization_from_telemetry(result.snapshot, torus)
+        assert len(util.per_link) == 16 * 4  # node * (2 dims x 2 dirs)
+        assert util.window_cycles == result.total_cycles
+        measured = result.summary.link_utilization()
+        for key, value in measured.items():
+            assert util.per_link[key] == pytest.approx(value)
+
+    def test_accepts_summary_wrapper(self):
+        result = self.probe()
+        torus = Torus(radix=4, dimensions=2)
+        from_summary = link_utilization_from_telemetry(result.summary, torus)
+        from_dict = link_utilization_from_telemetry(result.snapshot, torus)
+        assert from_summary.per_link == from_dict.per_link
+
+    def test_heatmap_renders_from_telemetry(self):
+        result = self.probe()
+        torus = Torus(radix=4, dimensions=2)
+        util = link_utilization_from_telemetry(result.snapshot, torus)
+        text = render_link_heatmap(util, torus)
+        assert "[+x]" in text and "hot factor" in text
+        assert "@" in text  # some link is the peak
+
+    def test_rejects_empty_window(self):
+        torus = Torus(radix=4, dimensions=2)
+        fabric = FabricKernel(torus, on_delivery=lambda worm: None)
+        telemetry = fabric.attach_telemetry(TelemetryConfig())
+        telemetry.finalize(0)
+        with pytest.raises(ParameterError, match="empty"):
+            link_utilization_from_telemetry(telemetry.snapshot(), torus)
+
+    def test_rejects_geometry_mismatch(self):
+        result = self.probe()
+        with pytest.raises(ParameterError, match="geometry"):
+            link_utilization_from_telemetry(
+                result.snapshot, Torus(radix=8, dimensions=2)
+            )

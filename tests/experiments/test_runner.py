@@ -37,6 +37,13 @@ class TestRegistry:
     def test_registry_values_are_callables(self):
         assert all(callable(v) for v in REGISTRY.values())
 
+    def test_telemetry_gate_names_the_supported_experiments(self):
+        from repro.experiments.runner import TELEMETRY_RUNNERS
+
+        assert "scaling-sim" in TELEMETRY_RUNNERS
+        with pytest.raises(ParameterError, match="does not support"):
+            run_experiment("figure-6", quick=True, telemetry=True)
+
 
 class TestFigure6:
     def test_limit_and_approach(self):

@@ -36,3 +36,35 @@ class TestScalingSim:
         from repro.experiments.runner import experiment_ids
 
         assert "scaling-sim" in experiment_ids()
+
+    def test_no_contention_table_without_telemetry(self, result):
+        assert len(result.tables) == 1
+        assert "contention" not in result.render()
+
+
+class TestScalingSimTelemetry:
+    @pytest.fixture(scope="class")
+    def telemetry_result(self):
+        clear_cache()
+        try:
+            yield run(quick=True, telemetry=True)
+        finally:
+            clear_cache()
+
+    def test_appends_contention_table(self, telemetry_result):
+        assert len(telemetry_result.tables) == 2
+        text = telemetry_result.render()
+        assert "Model vs measured contention" in text
+        assert "rho meas" in text and "rho model" in text
+        # One row per swept radix (quick sweep: 4 and 8).
+        assert "16n radix-4" in text
+        assert "64n radix-8" in text
+
+    def test_point_estimates_unchanged_by_telemetry(self, telemetry_result):
+        clear_cache()
+        try:
+            bare = run(quick=True)
+        finally:
+            clear_cache()
+        assert telemetry_result.data["t_m_sim"] == bare.data["t_m_sim"]
+        assert telemetry_result.data["rho"] == bare.data["rho"]

@@ -84,6 +84,33 @@ class TestHistogramBuckets:
         assert histogram.counts == [0, 0, 0]
         assert histogram.count == 0 and histogram.sum == 0.0
 
+    def test_negative_values_land_in_first_bucket(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(-3)
+        assert histogram.counts == [1, 0, 0, 0]
+        assert histogram.sum == pytest.approx(-3.0)
+
+    def test_value_just_above_bound_lands_in_next_bucket(self):
+        # The `le` edge is exact: 5 belongs to <=5, 5 + epsilon does not.
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(5)
+        histogram.observe(5.0000001)
+        assert histogram.counts == [0, 1, 1, 0]
+
+    def test_integer_and_float_bounds_compare_equal(self):
+        # Bounds are normalized to float at construction, so observing
+        # the integer form of a bound still hits the exact-edge bucket.
+        histogram = Histogram("h", buckets=(4, 8.0, 16))
+        histogram.observe(8)
+        histogram.observe(4.0)
+        assert histogram.counts == [1, 1, 0, 0]
+
+    def test_last_bound_edge_vs_overflow(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        histogram.observe(10)      # == last bound: still in-range
+        histogram.observe(10.001)  # past it: overflow slot
+        assert histogram.counts == [0, 0, 1, 1]
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):
@@ -122,3 +149,98 @@ class TestRegistry:
         registry.reset()
         assert registry.names() == ["c"]
         assert registry.counter("c").value == 0
+
+
+class TestHistogramMerge:
+    """Cross-process histogram transport: snapshot + merge."""
+
+    def test_snapshot_histograms_excludes_other_metric_types(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h", buckets=(1, 2)).observe(1)
+        payload = registry.snapshot_histograms()
+        assert set(payload) == {"h"}
+        assert payload["h"]["type"] == "histogram"
+
+    def test_merge_adds_bucket_for_bucket(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1, 5, 10)).observe(2)
+        worker.histogram("h").observe(7)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1, 5, 10)).observe(0.5)
+        parent.merge_histograms(worker.snapshot_histograms())
+        merged = parent.get("h")
+        assert merged.counts == [1, 1, 1, 0]
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(9.5)
+
+    def test_merge_registers_unknown_names_with_payload_bounds(self):
+        worker = MetricsRegistry()
+        worker.histogram("new", buckets=(3, 6)).observe(4)
+        parent = MetricsRegistry()
+        parent.merge_histograms(worker.snapshot_histograms())
+        merged = parent.get("new")
+        assert merged is not None
+        assert merged.buckets == (3.0, 6.0)
+        assert merged.counts == [0, 1, 0]
+
+    def test_merge_preserves_edge_placement(self):
+        # An exact-bound observation made in a worker must land in the
+        # same bucket after the merge as it would have locally.
+        local = MetricsRegistry()
+        local.histogram("h", buckets=(4, 8)).observe(8)
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(4, 8)).observe(8)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(4, 8))
+        parent.merge_histograms(worker.snapshot_histograms())
+        assert parent.get("h").counts == local.get("h").counts
+
+    def test_merge_rejects_mismatched_bounds(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1, 2))
+        with pytest.raises(ParameterError, match="bounds mismatch"):
+            parent.merge_histograms(
+                {
+                    "h": {
+                        "type": "histogram",
+                        "buckets": [1, 3],
+                        "counts": [0, 0, 0],
+                        "count": 0,
+                        "sum": 0.0,
+                    }
+                }
+            )
+
+    def test_merge_rejects_wrong_counts_length(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1, 2))
+        with pytest.raises(ParameterError, match="counts"):
+            parent.merge_histograms(
+                {
+                    "h": {
+                        "type": "histogram",
+                        "buckets": [1, 2],
+                        "counts": [0, 0],  # missing the overflow slot
+                        "count": 0,
+                        "sum": 0.0,
+                    }
+                }
+            )
+
+    def test_merge_is_order_independent(self):
+        payloads = []
+        for values in ((1, 9), (3,), (12, 0.5)):
+            registry = MetricsRegistry()
+            histogram = registry.histogram("h", buckets=(2, 4, 8))
+            for value in values:
+                histogram.observe(value)
+            payloads.append(registry.snapshot_histograms())
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for payload in payloads:
+            forward.merge_histograms(payload)
+        for payload in reversed(payloads):
+            backward.merge_histograms(payload)
+        assert forward.get("h").as_dict() == backward.get("h").as_dict()

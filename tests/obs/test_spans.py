@@ -1,6 +1,7 @@
 """Tests for the span layer: nesting, disabled-mode no-ops, export."""
 
 import json
+import os
 
 from repro import obs
 from repro.obs.spans import NULL_SPAN, NullSpan, TraceBuffer
@@ -157,3 +158,92 @@ class TestExport:
         parsed = [json.loads(line) for line in lines]
         assert [r["name"] for r in parsed] == ["one", "two", "three"]
         assert all("duration" in r and "pid" in r for r in parsed)
+
+
+class TestCounters:
+    def test_counter_no_op_when_disabled(self):
+        obs.trace_counter("fabric.telemetry", 10.0, {"rho": 0.5})
+        assert obs.trace().counters == []
+
+    def test_counter_events_export_as_ph_c(self, tmp_path):
+        obs.enable(fresh=True)
+        obs.trace_counter("fabric.telemetry", 64.0, {"rho": 0.25, "depth": 3})
+        obs.trace_counter("fabric.telemetry", 128.0, {"rho": 0.5, "depth": 7})
+        with obs.span("work"):
+            pass
+        path = obs.write_chrome_trace(str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            events = json.load(handle)["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 2
+        assert [c["ts"] for c in counters] == [64.0, 128.0]
+        assert counters[0]["name"] == "fabric.telemetry"
+        assert counters[0]["cat"] == "fabric"
+        assert counters[0]["args"] == {"rho": 0.25, "depth": 3}
+        # Span events still ride alongside the counter series.
+        assert any(e["ph"] == "X" and e["name"] == "work" for e in events)
+
+    def test_reset_drops_counters(self):
+        obs.enable(fresh=True)
+        obs.trace_counter("c", 1.0, {"v": 1})
+        obs.reset()
+        assert obs.trace().counters == []
+
+
+class TestWorkerPayloads:
+    @staticmethod
+    def _span_record(pid, name="worker.task"):
+        return {
+            "index": 0, "name": name, "start": 0.0, "duration": 0.1,
+            "depth": 0, "parent": -1, "pid": pid, "tid": 1, "args": {},
+        }
+
+    def test_merges_foreign_spans_and_histograms(self):
+        obs.enable(fresh=True)
+        obs.REGISTRY.histogram("sim.latency", buckets=(4, 8)).observe(2)
+        payload = {
+            "pid": 424242,
+            "spans": [self._span_record(424242)],
+            "histograms": {
+                "sim.latency": {
+                    "type": "histogram",
+                    "buckets": [4, 8],
+                    "counts": [0, 2, 1],
+                    "count": 3,
+                    "sum": 30.0,
+                }
+            },
+        }
+        merged = obs.ingest_worker_payloads([payload, None])
+        assert merged == 1
+        assert "worker.task" in obs.trace().names()
+        histogram = obs.REGISTRY.get("sim.latency")
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.count == 4
+
+    def test_own_pid_payloads_are_skipped(self):
+        # A fork that shipped inherited state back must not double-count.
+        obs.enable(fresh=True)
+        payload = {
+            "pid": os.getpid(),
+            "spans": [self._span_record(os.getpid())],
+            "histograms": {
+                "sim.latency.own_pid": {
+                    "type": "histogram",
+                    "buckets": [4, 8],
+                    "counts": [1, 0, 0],
+                    "count": 1,
+                    "sum": 1.0,
+                }
+            },
+        }
+        assert obs.ingest_worker_payloads([payload]) == 0
+        assert obs.trace().names() == []
+        assert obs.REGISTRY.get("sim.latency.own_pid") is None
+
+    def test_payloads_without_histograms_merge_spans_only(self):
+        obs.enable(fresh=True)
+        names_before = obs.REGISTRY.names()
+        payload = {"pid": 424243, "spans": [self._span_record(424243)]}
+        assert obs.ingest_worker_payloads([payload]) == 1
+        assert obs.REGISTRY.names() == names_before

@@ -5,6 +5,7 @@ import math
 
 import pytest
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.mapping.strategies import random_mapping
 from repro.sim.config import SimulationConfig
@@ -14,6 +15,7 @@ from repro.sim.replicate import (
     default_seeds,
     run_replications,
 )
+from repro.sim.telemetry import LATENCY_METRIC, TelemetryConfig
 from repro.topology.graphs import torus_neighbor_graph
 from repro.workload.synthetic import build_programs
 
@@ -112,3 +114,70 @@ class TestDeterminism:
         result = run_replications(config, mapping, programs, seeds)
         assert result.rng["seeds"] == list(seeds)
         assert "SeedSequence" in result.rng["scheme"]
+
+
+class TestTelemetry:
+    def test_snapshots_empty_when_telemetry_off(self):
+        config, mapping, programs = small_setup()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 2)
+        )
+        assert result.telemetry_snapshots() == []
+        assert result.merged_telemetry() is None
+
+    def test_each_replication_carries_a_snapshot(self):
+        config, mapping, programs = small_setup()
+        result = run_replications(
+            config, mapping, programs, default_seeds(config.seed, 2),
+            telemetry=TelemetryConfig(epoch_cycles=128),
+        )
+        snapshots = result.telemetry_snapshots()
+        assert len(snapshots) == 2
+        merged = result.merged_telemetry()
+        assert merged["delivered"] == sum(s["delivered"] for s in snapshots)
+        assert merged["total_cycles"] == sum(
+            s["total_cycles"] for s in snapshots
+        )
+
+    def test_telemetry_does_not_change_measurements(self):
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 2)
+        bare = run_replications(config, mapping, programs, seeds)
+        instrumented = run_replications(
+            config, mapping, programs, seeds,
+            telemetry=TelemetryConfig(epoch_cycles=128),
+        )
+        assert [s.as_dict() for s in bare.summaries] == [
+            s.as_dict() for s in instrumented.summaries
+        ]
+
+    def test_jobs_do_not_change_merged_telemetry(self):
+        # Satellite regression: the merged snapshot and the registry's
+        # latency histogram must be identical whether the replications
+        # ran serially or fanned out over pool workers (whose histogram
+        # state ships back on the payload).
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 2)
+        telemetry = TelemetryConfig(epoch_cycles=128)
+        enabled_before = obs.is_enabled()
+        obs.enable(fresh=True)
+        obs.REGISTRY.reset()
+        try:
+            serial = run_replications(
+                config, mapping, programs, seeds, jobs=1, telemetry=telemetry
+            )
+            serial_histogram = obs.REGISTRY.get(LATENCY_METRIC).as_dict()
+            obs.reset()
+            obs.REGISTRY.reset()
+            pooled = run_replications(
+                config, mapping, programs, seeds, jobs=2, telemetry=telemetry
+            )
+            pooled_histogram = obs.REGISTRY.get(LATENCY_METRIC).as_dict()
+        finally:
+            obs.reset()
+            obs.REGISTRY.reset()
+            if not enabled_before:
+                obs.disable()
+        assert serial.merged_telemetry() == pooled.merged_telemetry()
+        assert serial_histogram == pooled_histogram
+        assert serial_histogram["count"] > 0

@@ -112,6 +112,49 @@ class TestEventCapture:
         assert summary["samples"] == 0
 
 
+class TestSummaryAccounting:
+    def test_summary_reports_zero_drops_under_capacity(self):
+        tracer = Tracer(kinds=["message_sent"], capacity=100)
+        for cycle in range(5):
+            tracer.record("message_sent", cycle, node=0)
+        summary = tracer.summary()
+        assert summary["events"] == 5
+        assert summary["dropped_events"] == 0
+        assert summary["capacity"] == 100
+
+    def test_summary_drops_accumulate_across_kinds(self):
+        # The ring is shared: drops count evictions regardless of which
+        # kind pushed the oldest event out.
+        tracer = Tracer(
+            kinds=["message_sent", "message_delivered"], capacity=4
+        )
+        for cycle in range(3):
+            tracer.record("message_sent", cycle, node=0)
+        for cycle in range(3):
+            tracer.record("message_delivered", cycle, node=0)
+        summary = tracer.summary()
+        assert summary["events"] == 4
+        assert summary["dropped_events"] == 2
+        assert sum(summary["by_kind"].values()) == summary["events"]
+
+    def test_summary_drop_count_survives_export(self, tmp_path):
+        tracer = Tracer(kinds=["message_sent"], capacity=2)
+        for cycle in range(5):
+            tracer.record("message_sent", cycle, node=0)
+        before = tracer.summary()["dropped_events"]
+        tracer.to_jsonl(str(tmp_path / "trace.jsonl"))
+        assert tracer.summary()["dropped_events"] == before == 3
+
+    def test_summary_counts_samples(self):
+        tracer = Tracer(kinds=[], sample_interval=400)
+        traced_machine(tracer)
+        summary = tracer.summary()
+        # 2400 total cycles / 400 per sample.
+        assert summary["samples"] == len(tracer.samples) == 6
+        assert summary["events"] == 0
+        assert summary["dropped_events"] == 0
+
+
 class TestSampling:
     def test_periodic_samples(self):
         tracer = Tracer(kinds=[], sample_interval=100)

@@ -1,6 +1,10 @@
 """Unit tests for the repro-bench baseline comparison logic."""
 
-from repro.bench import compare_rows
+import hashlib
+import json
+import os
+
+from repro.bench import BASELINE_MANIFEST, compare_rows, load_rows, main
 
 
 def _tables(rows):
@@ -68,3 +72,82 @@ def test_missing_module_is_a_note():
     regressions, notes = compare_rows(base, {}, 0.2, 0.5)
     assert regressions == []
     assert any("not run" in note for note in notes)
+
+
+def _write_bench_rows(directory, name="BENCH_simulator.json"):
+    rows = [_row("uniform", 0.5, 1.4)]
+    path = os.path.join(str(directory), name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle)
+    return path
+
+
+class TestSnapshotManifest:
+    def test_snapshot_writes_provenance_manifest(self, tmp_path):
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        _write_bench_rows(current)
+        assert main(
+            [
+                "snapshot",
+                "--current-dir", str(current),
+                "--baseline-dir", str(baselines),
+            ]
+        ) == 0
+        manifest_path = baselines / BASELINE_MANIFEST
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["experiments"] == ["bench-snapshot"]
+        assert manifest["parameter_hash"]
+        digests = manifest["parameters"]["files"]
+        assert set(digests) == {"BENCH_simulator.json"}
+        copied = baselines / "BENCH_simulator.json"
+        expected = hashlib.sha256(copied.read_bytes()).hexdigest()
+        assert digests["BENCH_simulator.json"] == expected
+
+    def test_snapshot_with_no_rows_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(
+            [
+                "snapshot",
+                "--current-dir", str(empty),
+                "--baseline-dir", str(tmp_path / "baselines"),
+            ]
+        ) == 2
+
+    def test_load_rows_ignores_the_manifest(self, tmp_path):
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        _write_bench_rows(current)
+        main(
+            [
+                "snapshot",
+                "--current-dir", str(current),
+                "--baseline-dir", str(baselines),
+            ]
+        )
+        tables = load_rows(str(baselines))
+        assert set(tables) == {"simulator"}
+
+    def test_compare_against_own_snapshot_is_clean(self, tmp_path):
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        _write_bench_rows(current)
+        main(
+            [
+                "snapshot",
+                "--current-dir", str(current),
+                "--baseline-dir", str(baselines),
+            ]
+        )
+        assert main(
+            [
+                "compare",
+                "--current-dir", str(current),
+                "--baseline-dir", str(baselines),
+            ]
+        ) == 0

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_sim_parser, main, sim_main
 
 
 class TestParser:
@@ -89,3 +91,103 @@ class TestRunFlags:
         assert main(["run", "figure-6", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[perf]" not in out
+
+
+class TestTelemetryFlag:
+    def test_run_all_rejects_telemetry(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--all", "--telemetry"])
+
+    def test_run_telemetry_on_analytic_experiment_fails_cleanly(self, capsys):
+        # figure-6 is analytic: no fabric to instrument.  The gate turns
+        # this into a clean error instead of a silently ignored flag.
+        assert main(["run", "figure-6", "--quick", "--telemetry"]) == 1
+        err = capsys.readouterr().err
+        assert "does not support --telemetry" in err
+        assert "scaling-sim" in err  # the supported set is named
+
+
+class TestSimCli:
+    def test_probe_smoke(self, capsys):
+        assert sim_main(
+            [
+                "probe", "--workload", "tree_saturation", "--radix", "4",
+                "--cycles", "200", "--epoch", "32",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tree_saturation probe" in out
+        assert "rho model" in out  # the contention comparison table
+        assert "tree saturation onset" in out
+        assert "link utilization" in out  # the heatmap header
+
+    def test_probe_writes_artifact_bundle(self, tmp_path, capsys):
+        from repro import obs
+
+        enabled_before = obs.is_enabled()
+        try:
+            assert sim_main(
+                [
+                    "probe", "--workload", "uniform", "--radix", "4",
+                    "--cycles", "150", "--epoch", "32",
+                    "--output", str(tmp_path),
+                ]
+            ) == 0
+        finally:
+            obs.reset()
+            if not enabled_before:
+                obs.disable()
+        for name in (
+            "telemetry.jsonl", "saturation.json", "heatmap.txt",
+            "trace.json", "manifest.json",
+        ):
+            assert (tmp_path / name).exists(), name
+        report = json.loads((tmp_path / "saturation.json").read_text())
+        assert report["workload"] == "uniform"
+        assert report["delivered"] > 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["parameters"]["telemetry"]["epoch_cycles"] == 32
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        counters = [
+            e for e in trace["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert counters and counters[0]["name"] == "fabric.telemetry"
+
+    def test_probe_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_sim_parser().parse_args(["probe", "--workload", "bogus"])
+
+    def test_replicate_telemetry_smoke(self, tmp_path, capsys):
+        target = tmp_path / "replicate.json"
+        assert sim_main(
+            [
+                "replicate", "--radix", "4", "--seeds", "2",
+                "--warmup", "300", "--measure", "1200",
+                "--telemetry", "--telemetry-epoch", "128",
+                "--json", str(target),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry (merged[2x" in out
+        assert "link rho mean" in out
+        assert "worm latency mean" in out
+        payload = json.loads(target.read_text())
+        telemetry = payload["telemetry"]
+        assert telemetry["delivered"] > 0
+        assert telemetry["epoch_cycles"] == 128
+        assert len(telemetry["busy"]) == len(telemetry["depth"])
+
+    def test_replicate_without_telemetry_omits_the_block(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "replicate.json"
+        assert sim_main(
+            [
+                "replicate", "--radix", "4", "--seeds", "1",
+                "--warmup", "200", "--measure", "600",
+                "--json", str(target),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert "telemetry" not in json.loads(target.read_text())
