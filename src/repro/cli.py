@@ -99,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for --all (default: 1, serial)",
+        help="warm pool workers for --all (default: 1, serial; workers "
+        "persist across the campaign)",
     )
     run_parser.add_argument(
         "--verbose", action="store_true",
@@ -119,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--quick", action="store_true")
     all_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes (default: 1, serial)",
+        help="warm pool workers (default: 1, serial)",
     )
     all_parser.add_argument("--verbose", action="store_true")
     all_parser.add_argument(
@@ -182,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     anneal_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the chains (default: 1, batched "
+        help="warm pool workers for the chains (default: 1, batched "
         "lockstep in-process)",
     )
 
@@ -406,7 +407,8 @@ def build_sim_parser() -> argparse.ArgumentParser:
     )
     replicate.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the replications (default: 1, serial)",
+        help="warm pool workers for the replications (default: 1, serial; "
+        "the machine payload is broadcast to the pool once)",
     )
     replicate.add_argument(
         "--warmup", type=int, default=None, metavar="CYCLES",

@@ -7,8 +7,10 @@ reproducible artifacts lives in exactly one place.  Compact aliases
 (``fig3``, ``table1``) resolve to their canonical ids via
 :func:`resolve_experiment_id`.
 
-``run_all`` can fan experiments out over a process pool
-(``repro-locality run --all --jobs N``).  Each experiment is pure —
+``run_all`` can fan experiments out over the persistent warm worker
+pool (``repro-locality run --all --jobs N``; :mod:`repro.core.pool`) —
+the same pool the replication sweep and multi-chain annealer share, so
+a campaign pays worker start-up once.  Each experiment is pure —
 drivers take only the ``quick`` flag and share no mutable state — so
 per-process isolation changes nothing about the results, and the runner
 reassembles them in registry order regardless of completion order.
@@ -27,6 +29,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs, perf
+from repro.core.pool import FALLBACK_ERRORS, WorkerPool, get_pool, note_fallback
 from repro.errors import ParameterError
 from repro.experiments import (
     ablations,
@@ -170,7 +173,7 @@ def run_experiment(
 
 
 def _run_one(arguments) -> ExperimentResult:
-    """Pool worker: run one experiment in a fresh process.
+    """Pool worker: run one experiment in an isolated process.
 
     Module-level so it pickles; takes a single tuple so it maps cleanly.
     ``collect_obs`` mirrors the parent's observability switch into the
@@ -180,11 +183,27 @@ def _run_one(arguments) -> ExperimentResult:
     if collect_obs:
         # Fork-started workers inherit the parent's trace buffer —
         # including its pid stamp and any spans recorded before the
-        # fork.  Start from a fresh buffer so this worker's spans carry
-        # its own pid and nothing is shipped back twice.
+        # fork; warm workers additionally carry spans from earlier
+        # tasks.  Start from a fresh buffer so this worker's spans carry
+        # its own pid and nothing is shipped back twice.  The solver
+        # cache is cleared too: warm workers keep their caches across
+        # tasks (that is the point of the pool), but an instrumented run
+        # must record the same solver spans the serial path would, not
+        # whatever a previous task happened to leave cached.
+        from repro.core.combined import clear_solve_cache
+
+        clear_solve_cache()
         obs.enable()
         obs.reset()
+    elif obs.is_enabled():
+        obs.disable()
+        obs.reset()
     return run_experiment(identifier, quick)
+
+
+def _pool_run_one(payload, task) -> ExperimentResult:
+    """Warm-pool task adapter: experiments carry no broadcast payload."""
+    return _run_one(task)
 
 
 def _merge_worker_observability(results: Sequence[ExperimentResult]) -> None:
@@ -205,16 +224,20 @@ def run_all(
     quick: bool = False,
     jobs: int = 1,
     experiments: Optional[Sequence[str]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[ExperimentResult]:
     """Run every registered experiment (or the ``experiments`` subset).
 
     Results come back in registry order.  With ``jobs > 1`` the
-    experiments run across a ``ProcessPoolExecutor`` of that many
-    workers; results are identical to a serial run (each driver depends
-    only on its arguments), and when observability is on the workers'
-    spans and counters are merged into the parent so traces and
-    manifests cover the whole campaign.  Falls back to the serial path
-    when ``jobs <= 1`` or the platform cannot start a pool.
+    experiments run across the process-global warm worker pool, one
+    experiment per task (one chunk per worker dispatch keeps the big
+    experiments load-balanced); results are identical to a serial run
+    (each driver depends only on its arguments), and when observability
+    is on the workers' spans and counters are merged into the parent so
+    traces and manifests cover the whole campaign.  Falls back to the
+    serial path — recorded on the ``pool.fallback`` counter and warned —
+    when the platform cannot start a pool.  Pass ``pool`` to use a
+    specific pool instead of the global one.
     """
     if experiments is None:
         identifiers = experiment_ids()
@@ -225,19 +248,19 @@ def run_all(
             raise ParameterError(
                 f"unknown experiments {unknown}; known: {experiment_ids()}"
             )
-    if jobs > 1:
+    if jobs > 1 or pool is not None:
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                work = [
-                    (identifier, quick, obs.is_enabled())
-                    for identifier in identifiers
-                ]
-                results = list(pool.map(_run_one, work))
+            worker_pool = pool if pool is not None else get_pool(jobs)
+            work = [
+                (identifier, quick, obs.is_enabled())
+                for identifier in identifiers
+            ]
+            # Experiments vary widely in cost; chunk_size=1 lets fast
+            # ones drain while a slow one occupies its worker.
+            results = worker_pool.map(_pool_run_one, work, chunk_size=1)
             if obs.is_enabled():
                 _merge_worker_observability(results)
             return results
-        except (ImportError, NotImplementedError, OSError):
-            pass  # no usable process pool on this platform; run serially
+        except FALLBACK_ERRORS as error:
+            note_fallback("experiments.run_all", error)
     return [run_experiment(identifier, quick) for identifier in identifiers]

@@ -2,18 +2,21 @@
 
 Every simulated figure used to rest on a single seed.  This module runs
 the same (config, mapping, programs) machine under a list of root seeds
-— serially or fanned out over a ``ProcessPoolExecutor`` — and aggregates
-each :class:`~repro.sim.stats.MeasurementSummary` metric into mean /
-sample standard deviation / 95% confidence interval, so model-vs-sim
+— serially or fanned out over the persistent warm worker pool
+(:mod:`repro.core.pool`) — and aggregates each
+:class:`~repro.sim.stats.MeasurementSummary` metric into mean / sample
+standard deviation / 95% confidence interval, so model-vs-sim
 comparisons carry error bars instead of point estimates.
 
 Determinism contract: for a fixed seed list the aggregates (and the
-per-seed summaries) are identical regardless of ``jobs``.  Each
-replication is an isolated machine built from ``config.with_seed(seed)``
-with its own deep copy of the programs (pool pickling provides the copy
-naturally; the serial path copies explicitly), results are reassembled
-in seed order whatever the completion order, and the statistics are
-computed with plain float arithmetic over that order.
+per-seed summaries) are identical regardless of ``jobs`` and of pool
+reuse.  Each replication is an isolated machine built from
+``config.with_seed(seed)`` with its own deep copy of the programs (both
+the serial path and the pool worker copy explicitly — warm workers
+reuse the broadcast payload across tasks, so nothing may mutate it),
+results are reassembled in seed order whatever the completion order,
+and the statistics are computed with plain float arithmetic over that
+order.
 
 Seed policy: :func:`default_seeds` enumerates ``root, root+1, ...`` so
 the first replication of a campaign is exactly the old single-seed run —
@@ -38,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.pool import FALLBACK_ERRORS, WorkerPool, get_pool, note_fallback
 from repro.errors import ParameterError
 from repro.mapping.base import Mapping
 from repro.sim.config import SimulationConfig
@@ -152,12 +156,13 @@ def aggregate_summaries(
 
 
 def _run_single(arguments) -> Tuple[MeasurementSummary, Optional[Dict]]:
-    """Pool worker: one seeded machine run.
+    """One seeded machine run.
 
     Module-level so it pickles; takes one tuple so it maps cleanly.
-    Pool pickling already hands this process its own copy of mapping and
-    programs, so no further isolation is needed here — the *serial*
-    caller is the one that must copy.
+    Callers must hand this their own copy of mapping and programs
+    (programs carry mutable per-run state): the serial path deep-copies,
+    and :func:`_pool_run_single` deep-copies the broadcast payload
+    before delegating here.
     """
     (
         config,
@@ -196,6 +201,35 @@ def _run_single(arguments) -> Tuple[MeasurementSummary, Optional[Dict]]:
     return summary, payload
 
 
+def _pool_run_single(payload, task):
+    """Warm-pool task: rebuild per-task isolation, then run one seed.
+
+    ``payload`` is the broadcast ``(config, mapping, programs)`` shared
+    by every task on this worker; programs are stateful across a run, so
+    each task takes a deep copy — the isolation per-task pickling used
+    to provide, now paid per task-copy instead of per task-transfer.
+    """
+    config, mapping, programs = payload
+    seed, warmup, measure, collect_obs, telemetry = task
+    if not collect_obs and obs.is_enabled():
+        # A warm worker may carry obs state enabled by an earlier task
+        # (or inherited over fork); this run must not record into it.
+        obs.disable()
+        obs.reset()
+    return _run_single(
+        (
+            config,
+            copy.deepcopy(mapping),
+            copy.deepcopy(programs),
+            seed,
+            warmup,
+            measure,
+            collect_obs,
+            telemetry,
+        )
+    )
+
+
 def run_replications(
     config: SimulationConfig,
     mapping: Mapping,
@@ -205,49 +239,54 @@ def run_replications(
     warmup: Optional[int] = None,
     measure: Optional[int] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> ReplicationResult:
     """Run one machine configuration under each seed and aggregate.
 
-    ``jobs > 1`` fans the replications over a process pool (falling back
-    to the serial path when the platform cannot start one); results and
-    aggregates are identical either way.  ``warmup`` / ``measure``
-    override the config's windows, as with :meth:`Machine.run`.  With a
-    ``telemetry`` config each replication's machine runs instrumented
-    and its snapshot rides on the per-seed summary (merge across seeds
-    with :meth:`ReplicationResult.merged_telemetry`); with observability
-    on, pool workers additionally ship their histogram state back for
-    the jobs-invariant registry merge.
+    ``jobs > 1`` fans the replications over the process-global warm
+    worker pool (:func:`repro.core.pool.get_pool`): the
+    ``(config, mapping, programs)`` payload is broadcast to the workers
+    once and each task ships only its seed and window overrides, so N
+    replications pickle the machine description once, not N times.
+    When no pool can run here the sweep falls back to the serial path —
+    loudly, via the ``pool.fallback`` counter and a
+    :class:`~repro.core.pool.PoolFallbackWarning` — and results and
+    aggregates are identical either way.  Pass ``pool`` to use a
+    specific (e.g. spawn-start-method) pool instead of the global one.
+
+    ``warmup`` / ``measure`` override the config's windows, as with
+    :meth:`Machine.run`.  With a ``telemetry`` config each replication's
+    machine runs instrumented and its snapshot rides on the per-seed
+    summary (merge across seeds with
+    :meth:`ReplicationResult.merged_telemetry`); with observability on,
+    pool workers additionally ship their histogram state back for the
+    jobs-invariant registry merge.
     """
     seeds = tuple(int(seed) for seed in seeds)
     if not seeds:
         raise ParameterError("need at least one replication seed")
     collect_obs = obs.is_enabled()
-    work = [
-        (
-            config,
-            mapping,
-            programs,
-            seed,
-            warmup,
-            measure,
-            collect_obs,
-            telemetry,
-        )
-        for seed in seeds
-    ]
     outcomes: Optional[List[Tuple[MeasurementSummary, Optional[Dict]]]] = None
     with obs.span("replicate", seeds=len(seeds), jobs=jobs):
-        if jobs > 1:
+        if jobs > 1 or pool is not None:
             try:
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    outcomes = list(pool.map(_run_single, work))
+                worker_pool = pool if pool is not None else get_pool(jobs)
+                worker_pool.broadcast(
+                    "sim.replicate", (config, mapping, programs)
+                )
+                tasks = [
+                    (seed, warmup, measure, collect_obs, telemetry)
+                    for seed in seeds
+                ]
+                outcomes = worker_pool.map(
+                    _pool_run_single, tasks, key="sim.replicate"
+                )
                 if collect_obs:
                     obs.ingest_worker_payloads(
                         payload for _, payload in outcomes
                     )
-            except (ImportError, NotImplementedError, OSError):
+            except FALLBACK_ERRORS as error:
+                note_fallback("sim.replicate", error)
                 outcomes = None  # no usable pool; run serially below
         if outcomes is None:
             # Serial path: deep-copy mapping/programs per run for the

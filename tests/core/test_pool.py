@@ -1,0 +1,269 @@
+"""The persistent warm worker pool: dispatch, broadcast, and recovery.
+
+Start-method coverage: the cheap contract tests run on a fork pool
+(fork is the platform default everywhere these tests run); the
+shared-memory and determinism-critical ones run on spawn pools too,
+because spawn is the path real macOS/Windows users take and the one
+where broadcast transport actually pickles.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.pool import (
+    FALLBACK_ERRORS,
+    SHARED_MEMORY_MIN_BYTES,
+    PoolFallbackWarning,
+    WorkerPool,
+    default_start_method,
+    get_pool,
+    note_fallback,
+    shutdown_global_pool,
+)
+from repro.errors import ParameterError, PoolError, WorkerCrashError
+
+
+# ----------------------------------------------------------------------
+# Task functions (module-level so they pickle by reference).
+# ----------------------------------------------------------------------
+
+
+def _square(payload, item):
+    return item * item
+
+
+def _payload_sum(payload, item):
+    base, array = payload
+    return base + int(array[item])
+
+
+def _boom_on_three(payload, item):
+    if item == 3:
+        raise ValueError("boom-3")
+    return item
+
+
+def _die_on_two(payload, item):
+    if item == 2:
+        os._exit(17)
+    return item
+
+
+def _worker_pid(payload, item):
+    return os.getpid()
+
+
+class _PickleCounter:
+    """Counts (parent-side) pickles of itself via a class attribute."""
+
+    pickles = 0
+
+    def __getstate__(self):
+        type(self).pickles += 1
+        return {}
+
+    def __setstate__(self, state):
+        pass
+
+
+def _ignore(payload, item):
+    return item
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ParameterError):
+            WorkerPool(0)
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(PoolError):
+            WorkerPool(1, start_method="teleport")
+
+    def test_default_start_method_is_available(self):
+        import multiprocessing
+
+        assert default_start_method() in (
+            multiprocessing.get_all_start_methods()
+        )
+
+    def test_workers_start_lazily(self):
+        with WorkerPool(2) as pool:
+            assert not pool.started
+            pool.warm()
+            assert pool.started
+
+
+class TestDispatch:
+    def test_map_preserves_item_order(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, range(20)) == [
+                i * i for i in range(20)
+            ]
+
+    def test_map_with_explicit_chunk_size(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, range(7), chunk_size=1) == [
+                i * i for i in range(7)
+            ]
+
+    def test_empty_items(self):
+        with WorkerPool(1) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_missing_broadcast_key_raises(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(PoolError, match="no broadcast"):
+                pool.map(_payload_sum, [1], key="never-registered")
+
+    def test_closed_pool_raises_a_fallback_error(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(FALLBACK_ERRORS):
+            pool.map(_square, [1])
+
+    def test_tasks_spread_across_workers(self):
+        with WorkerPool(2) as pool:
+            pool.warm()
+            pids = set(pool.map(_worker_pid, range(16), chunk_size=1))
+        assert os.getpid() not in pids
+
+
+class TestBroadcast:
+    def test_payload_reaches_tasks(self):
+        array = np.arange(10, dtype=np.int64)
+        with WorkerPool(2) as pool:
+            pool.broadcast("k", (100, array))
+            assert pool.map(_payload_sum, [0, 5, 9], key="k") == [
+                100, 105, 109,
+            ]
+
+    def test_identical_payload_is_not_rebroadcast(self):
+        array = np.arange(10, dtype=np.int64)
+        payload = (100, array)
+        with WorkerPool(1) as pool:
+            first = pool.broadcast("k", payload)
+            again = pool.broadcast("k", (100, array))  # same objects
+            assert first == again
+
+    def test_changed_payload_replaces_the_old_one(self):
+        array = np.arange(10, dtype=np.int64)
+        with WorkerPool(1) as pool:
+            first = pool.broadcast("k", (100, array))
+            second = pool.broadcast("k", (200, array))
+            assert second != first
+            assert pool.map(_payload_sum, [1], key="k") == [201]
+
+    def test_fork_staged_broadcast_is_never_pickled(self):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        _PickleCounter.pickles = 0
+        with WorkerPool(2, start_method="fork") as pool:
+            pool.broadcast("k", (_PickleCounter(), np.zeros(4)))
+            pool.map(_ignore, range(8), key="k")
+            assert _PickleCounter.pickles == 0
+
+    def test_spawn_broadcast_pickles_once_per_worker_not_per_task(self):
+        _PickleCounter.pickles = 0
+        with WorkerPool(2, start_method="spawn") as pool:
+            pool.warm()
+            pool.broadcast("k", (_PickleCounter(), np.zeros(4)))
+            baseline = _PickleCounter.pickles
+            assert baseline == pool.jobs
+            pool.map(_ignore, range(12), key="k")
+            assert _PickleCounter.pickles == baseline
+
+
+class TestSharedMemory:
+    def test_spawn_pool_ships_large_arrays_out_of_band(self):
+        length = SHARED_MEMORY_MIN_BYTES  # int64 -> 8x the threshold
+        array = np.arange(length, dtype=np.int64)
+        with WorkerPool(1, start_method="spawn") as pool:
+            assert pool.uses_shared_memory
+            pool.broadcast("k", (7, array))
+            assert pool._segments["k"], "large array should use shm"
+            assert pool.map(
+                _payload_sum, [0, length - 1], key="k"
+            ) == [7, 7 + length - 1]
+
+    def test_small_arrays_stay_in_the_pickle_stream(self):
+        array = np.arange(8, dtype=np.int64)
+        with WorkerPool(1, start_method="spawn") as pool:
+            pool.broadcast("k", (7, array))
+            assert "k" not in pool._segments
+            assert pool.map(_payload_sum, [3], key="k") == [10]
+
+    def test_fork_pool_never_exports_segments(self):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        array = np.arange(SHARED_MEMORY_MIN_BYTES, dtype=np.int64)
+        with WorkerPool(1, start_method="fork") as pool:
+            assert not pool.uses_shared_memory
+            pool.broadcast("k", (7, array))
+            assert not pool._segments
+
+
+class TestFailureContainment:
+    def test_poisoned_task_fails_only_itself(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="boom-3"):
+                pool.map(_boom_on_three, range(6), chunk_size=1)
+            # The pool survives the task failure.
+            assert pool.map(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_worker_crash_fails_chunk_and_respawns(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.map(_die_on_two, range(6), chunk_size=1)
+            assert len(pool._workers) == pool.jobs
+            assert pool.map(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_crashed_spawn_worker_recovers_its_broadcasts(self):
+        array = np.arange(SHARED_MEMORY_MIN_BYTES, dtype=np.int64)
+        with WorkerPool(1, start_method="spawn") as pool:
+            pool.broadcast("k", (7, array))
+            with pytest.raises(WorkerCrashError):
+                pool.map(_die_on_two, [2])
+            # The replacement worker received the broadcast replay.
+            assert pool.map(_payload_sum, [5], key="k") == [12]
+
+    def test_crash_error_is_a_fallback_error(self):
+        assert issubclass(WorkerCrashError, FALLBACK_ERRORS)
+
+
+class TestGlobalPool:
+    def test_get_pool_reuses_and_grows(self):
+        shutdown_global_pool()
+        try:
+            pool = get_pool(1)
+            assert get_pool(1) is pool
+            assert get_pool(3) is pool
+            assert pool.jobs == 3
+        finally:
+            shutdown_global_pool()
+
+    def test_shutdown_then_get_makes_a_fresh_pool(self):
+        first = get_pool(1)
+        shutdown_global_pool()
+        assert first.closed
+        second = get_pool(1)
+        try:
+            assert second is not first
+            assert not second.closed
+        finally:
+            shutdown_global_pool()
+
+
+class TestFallbackVisibility:
+    def test_note_fallback_counts_and_warns(self):
+        counter = obs.REGISTRY.counter(
+            "pool.fallback",
+            help="parallel runs degraded to the serial path",
+        )
+        before = counter.value
+        with pytest.warns(PoolFallbackWarning, match="sim.replicate"):
+            note_fallback("sim.replicate", OSError("no forking today"))
+        assert counter.value == before + 1

@@ -142,17 +142,35 @@ class TestParallelRunner:
             assert s.render() == p.render()
 
     def test_jobs_one_never_spawns_a_pool(self, small_registry, monkeypatch):
-        import concurrent.futures
-
-        from repro.experiments.runner import run_all
+        from repro.experiments import runner
 
         def boom(*args, **kwargs):
-            raise AssertionError("jobs=1 must not create a process pool")
+            raise AssertionError("jobs=1 must not create a worker pool")
 
-        monkeypatch.setattr(
-            concurrent.futures, "ProcessPoolExecutor", boom
+        monkeypatch.setattr(runner, "get_pool", boom)
+        results = runner.run_all(quick=True, jobs=1)
+        assert [r.experiment for r in results] == small_registry
+
+    def test_pool_failure_falls_back_loudly(self, small_registry, monkeypatch):
+        # Satellite contract: a degraded --jobs run is visible — the
+        # pool.fallback counter moves and a PoolFallbackWarning fires —
+        # and the results still come back via the serial path.
+        from repro import obs
+        from repro.core.pool import PoolFallbackWarning
+        from repro.experiments import runner
+
+        def no_pool(*args, **kwargs):
+            raise OSError("process creation disabled")
+
+        monkeypatch.setattr(runner, "get_pool", no_pool)
+        counter = obs.REGISTRY.counter(
+            "pool.fallback",
+            help="parallel runs degraded to the serial path",
         )
-        results = run_all(quick=True, jobs=1)
+        before = counter.value
+        with pytest.warns(PoolFallbackWarning, match="run_all"):
+            results = runner.run_all(quick=True, jobs=2)
+        assert counter.value == before + 1
         assert [r.experiment for r in results] == small_registry
 
 

@@ -53,6 +53,27 @@ class TestChainParity:
         b = anneal_chains(graph, torus, start, chains=2, steps=500, seed=9)
         assert a == b
 
+    def test_spawn_pool_with_seeded_table_matches_batched(
+        self, torus, graph, start
+    ):
+        # Spawn workers receive the parent's dense distance table over
+        # shared memory and install it via seed_distance_table; the
+        # chains must still be bit-identical to the batched path.
+        from repro.core.pool import WorkerPool
+
+        batched = anneal_chains(
+            graph, torus, start, chains=2, steps=400, seed=5, jobs=1
+        )
+        with WorkerPool(2, start_method="spawn") as pool:
+            pooled = anneal_chains(
+                graph, torus, start, chains=2, steps=400, seed=5, pool=pool
+            )
+            reused = anneal_chains(
+                graph, torus, start, chains=2, steps=400, seed=5, pool=pool
+            )
+        assert batched.results == pooled.results == reused.results
+        assert batched.best_index == pooled.best_index
+
 
 class TestSelection:
     def test_seeds_are_consecutive(self, torus, graph, start):

@@ -181,3 +181,54 @@ class TestTelemetry:
         assert serial.merged_telemetry() == pooled.merged_telemetry()
         assert serial_histogram == pooled_histogram
         assert serial_histogram["count"] > 0
+
+
+class TestWarmPoolDeterminism:
+    """Reusing a warm pool must be invisible in the results.
+
+    The tentpole contract: same seeds through a *reused* warm pool ==
+    a fresh pool == the serial path, bit for bit, under both start
+    methods.  Warm workers recycle the broadcast payload across tasks,
+    so any leaked per-run state (the programs' cursors, a stale obs
+    buffer) would show up here as a second-pass divergence.
+    """
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_reused_pool_matches_fresh_pool_and_serial(self, start_method):
+        import multiprocessing
+
+        from repro.core.pool import WorkerPool
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"no {start_method} on this platform")
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 3)
+        serial = run_replications(config, mapping, programs, seeds, jobs=1)
+        with WorkerPool(2, start_method=start_method) as pool:
+            first = run_replications(
+                config, mapping, programs, seeds, jobs=2, pool=pool
+            )
+            again = run_replications(
+                config, mapping, programs, seeds, jobs=2, pool=pool
+            )
+        expected = [s.as_dict() for s in serial.summaries]
+        assert [s.as_dict() for s in first.summaries] == expected
+        assert [s.as_dict() for s in again.summaries] == expected
+        assert serial.aggregates == first.aggregates == again.aggregates
+
+    def test_explicit_pool_short_circuits_jobs_one(self):
+        # Passing a pool routes the sweep through it even at jobs=1 —
+        # the injection hook the spawn-parity tests rely on.
+        from repro.core.pool import WorkerPool
+
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 2)
+        serial = run_replications(config, mapping, programs, seeds, jobs=1)
+        with WorkerPool(1) as pool:
+            pooled = run_replications(
+                config, mapping, programs, seeds, jobs=1, pool=pool
+            )
+            assert pool.started
+        assert [s.as_dict() for s in serial.summaries] == [
+            s.as_dict() for s in pooled.summaries
+        ]

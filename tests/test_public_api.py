@@ -8,6 +8,7 @@ import pytest
 PUBLIC_MODULES = [
     "repro",
     "repro.core",
+    "repro.core.pool",
     "repro.topology",
     "repro.mapping",
     "repro.sim",
