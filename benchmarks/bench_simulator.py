@@ -21,6 +21,15 @@ guarded branch per tick and per grant when detached).  Parity between
 the two runs is always asserted: telemetry must never perturb
 simulation results.
 
+The machine rows (``machine_uniform_radix{8,16}``,
+``machine_saturated_radix{8,16}``) time whole ``Machine.run`` calls —
+processors, controllers, and fabric together — with the event-calendar
+engine on vs the retained per-cycle loop, asserting bit-exact summary
+parity.  The light-traffic uniform rows are the engine's headline
+(>= 5x at radix-8 under ``REPRO_BENCH_STRICT=1``); the saturated rows
+are reported for honesty — a fabric busy every cycle leaves nothing to
+skip.
+
 The headline row is ``tree_saturation``: every message targets a few
 hot ejection ports, so blocked-channel trees grow across the fabric and
 almost no channel changes hands per cycle — exactly where the kernel's
@@ -177,22 +186,31 @@ def measure_telemetry_overhead(quick=False, workload="uniform"):
     ``overhead_pct`` is the attached run's relative cost, informational.
     """
     radix = 8 if quick else 16
-    cycles = 300 if quick else 1500
+    cycles = 600 if quick else 1500
     plan = _schedule(radix, 2, cycles, WORKLOADS[workload])
-    # Two alternating pairs, best-of per side: the very first drive pays
-    # interpreter warmup, which would otherwise masquerade as overhead
-    # on whichever side runs first.
+    # A discarded warmup pair, then three alternating pairs with best-of
+    # per side.  Telemetry's true attached cost is a few percent, which
+    # single-shot millisecond-scale drives cannot resolve — an early
+    # version of this row ran one pair and reported scheduler jitter
+    # (±15% and worse) as telemetry overhead.
+    _drive(FabricKernel, radix, 2, plan)
+    _drive(FabricKernel, radix, 2, plan, telemetry=TelemetryConfig())
     off_seconds, off_deliveries, off_flits = _drive(
         FabricKernel, radix, 2, plan
     )
     on_seconds, on_deliveries, on_flits = _drive(
         FabricKernel, radix, 2, plan, telemetry=TelemetryConfig()
     )
-    off_seconds = min(off_seconds, _drive(FabricKernel, radix, 2, plan)[0])
-    on_seconds = min(
-        on_seconds,
-        _drive(FabricKernel, radix, 2, plan, telemetry=TelemetryConfig())[0],
-    )
+    for _ in range(2):
+        off_seconds = min(
+            off_seconds, _drive(FabricKernel, radix, 2, plan)[0]
+        )
+        on_seconds = min(
+            on_seconds,
+            _drive(
+                FabricKernel, radix, 2, plan, telemetry=TelemetryConfig()
+            )[0],
+        )
     return {
         "bench": f"{workload}_telemetry",
         "config": f"radix-{radix} 2-D torus, {cycles} cycles, off vs on",
@@ -205,6 +223,81 @@ def measure_telemetry_overhead(quick=False, workload="uniform"):
         ),
         "messages": len(off_deliveries),
     }
+
+
+#: End-to-end machine operating points for the engine on/off rows.
+#: ``machine_uniform`` is the paper's light-traffic regime — long
+#: compute runs between accesses, the fabric quiescent most cycles —
+#: which is exactly what the event-calendar engine exists for;
+#: ``machine_saturated`` is the short-run default where the fabric is
+#: busy nearly every cycle and the engine can only win the per-cycle
+#: processor scan.
+MACHINE_WORKLOADS = {
+    "machine_uniform": dict(compute=1000, contexts=1),
+    "machine_saturated": dict(compute=8, contexts=2),
+}
+
+
+def _whole_machine(radix, compute, contexts, engine):
+    config = SimulationConfig(
+        radix=radix,
+        contexts=contexts,
+        compute_cycles=compute,
+        seed=SEED,
+    )
+    graph = torus_neighbor_graph(radix, 2)
+    programs = build_programs(graph, contexts, compute, config.compute_jitter)
+    return Machine(
+        config, identity_mapping(radix * radix), programs, engine=engine
+    )
+
+
+def measure_machine_run(name, radix, quick=False):
+    """One ``Machine.run`` row: per-cycle loop vs event-calendar engine.
+
+    ``speedup_vs_reference`` is ``off_wall / on_wall`` — the retained
+    per-cycle loop standing in for the reference — and ``parity``
+    asserts the two summaries are bit-identical, the engine's whole
+    contract.  Best-of-2 per side: the light-traffic engine runs are
+    milliseconds, which single shots cannot time reliably.
+    """
+    spec = MACHINE_WORKLOADS[name]
+    warmup, measure = (300, 1500) if quick else (500, 4000)
+
+    def run(engine):
+        machine = _whole_machine(
+            radix, spec["compute"], spec["contexts"], engine
+        )
+        began = time.perf_counter()
+        summary = machine.run(warmup=warmup, measure=measure)
+        return time.perf_counter() - began, summary.as_dict()
+
+    off_seconds, off_summary = run(False)
+    on_seconds, on_summary = run(True)
+    off_seconds = min(off_seconds, run(False)[0])
+    on_seconds = min(on_seconds, run(True)[0])
+    return {
+        "bench": f"{name}_radix{radix}",
+        "config": (
+            f"radix-{radix} 2-D torus, contexts={spec['contexts']}, "
+            f"compute={spec['compute']}, {warmup}+{measure} cycles, "
+            "loop vs engine"
+        ),
+        "wall_s": round(on_seconds, 4),
+        "loop_wall_s": round(off_seconds, 4),
+        "speedup_vs_reference": round(off_seconds / on_seconds, 2),
+        "parity": on_summary == off_summary,
+        "messages": off_summary["messages_sent"],
+    }
+
+
+def measure_machine_suite(quick=False):
+    """Engine on/off rows at radix-8 and radix-16, both operating points."""
+    return [
+        measure_machine_run(name, radix, quick=quick)
+        for name in MACHINE_WORKLOADS
+        for radix in (8, 16)
+    ]
 
 
 def measure_replication_scaling(quick=False):
@@ -330,6 +423,28 @@ def test_telemetry_overhead(bench_record):
     )
 
 
+def test_machine_engine_speedup(bench_record):
+    """End-to-end ``Machine.run``: event-calendar engine vs step loop.
+
+    Always checks bit-exact summary parity on every row; the >= 5x
+    floor on the light-traffic radix-8 row only fires under
+    ``REPRO_BENCH_STRICT=1`` (shared runners are too noisy for
+    unconditional wall-clock asserts).
+    """
+    rows = measure_machine_suite(quick=not STRICT)
+    for row in rows:
+        assert row["parity"], f"engine diverged from step loop: {row}"
+        bench_record(
+            row["bench"], row["config"], row["wall_s"],
+            row["speedup_vs_reference"],
+        )
+    if STRICT:
+        headline = next(
+            r for r in rows if r["bench"] == "machine_uniform_radix8"
+        )
+        assert headline["speedup_vs_reference"] >= 5.0, headline
+
+
 def test_replication_jobs_invariance(bench_record):
     """Pooled replication returns byte-identical summaries to serial."""
     row = measure_replication_scaling(quick=not STRICT)
@@ -375,6 +490,7 @@ def main(argv=None) -> int:
     else:
         rows = measure_suite(quick=args.quick)
         rows.append(measure_telemetry_overhead(quick=args.quick))
+        rows.extend(measure_machine_suite(quick=args.quick))
         rows.append(measure_replication_scaling(quick=args.quick))
     for row in rows:
         print(

@@ -44,7 +44,11 @@ __all__ = ["run"]
 CONTEXTS = 2
 
 
-def run(quick: bool = False, telemetry: bool = False) -> ExperimentResult:
+def run(
+    quick: bool = False,
+    telemetry: bool = False,
+    radices=None,
+) -> ExperimentResult:
     """Sweep machine radix; measure d, rho, T_m; compare to the model.
 
     The application message curve is a property of the application,
@@ -52,8 +56,14 @@ def run(quick: bool = False, telemetry: bool = False) -> ExperimentResult:
     model fitted on the 64-node validation suite applies unchanged at
     every radix here.  ``telemetry`` instruments every replication's
     fabric and appends the model-vs-measured contention table.
+    ``radices`` overrides the swept radix tuple: with ``Machine.run``
+    on the event-calendar engine, radix-16 and radix-32 2-D tori
+    (256/1024 nodes) are practical sweep points — the CI smoke runs
+    ``radices=(16,)`` — where the per-cycle loop made anything past
+    radix-12 a batch job.
     """
-    radices = (4, 8) if quick else (4, 6, 8, 12)
+    if radices is None:
+        radices = (4, 8) if quick else (4, 6, 8, 12)
     windows = dict(
         warmup_network_cycles=1500 if quick else 3000,
         measure_network_cycles=6000 if quick else 12000,

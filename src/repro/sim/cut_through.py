@@ -314,3 +314,31 @@ class CutThroughFabric:
 
     def quiescent(self) -> bool:
         return self._in_flight == 0
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Quiescence horizon: the earliest cycle a tick could do work.
+
+        A pending channel grants exactly when it is past both its
+        busy-until cycle and its head's eligibility cycle, and both are
+        frozen between grants — so with nothing grantable now, the
+        fabric is provably inert until the earliest of those thresholds
+        or the earliest scheduled delivery.  This is what lets the
+        machine engine jump clean over the ``B``-cycle drain windows of
+        24-flit data replies (and over heads queued behind them) in one
+        step.  ``None`` means empty: ticks are no-ops until an
+        injection.
+        """
+        earliest = min(self._deliveries) if self._delivery_count else None
+        if self._pending:
+            free_at = self._free_at
+            head_eligible = self._head_eligible
+            for channel in self._pending:
+                at = free_at[channel]
+                eligible = head_eligible[channel]
+                if eligible > at:
+                    at = eligible
+                if at <= cycle:
+                    return cycle
+                if earliest is None or at < earliest:
+                    earliest = at
+        return earliest

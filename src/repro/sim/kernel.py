@@ -435,9 +435,20 @@ class FabricKernel:
 
     def _queue_depths(self) -> List[int]:
         """Waiting worms per channel FIFO (telemetry epoch sampling)."""
-        w_next = self._w_next
         depths = [0] * len(self._queue_head)
-        for channel, head in enumerate(self._queue_head):
+        if not self._queued_count:
+            # Quiescent epoch boundary: every FIFO is empty, so skip
+            # the per-channel linked-list walks — this is what keeps
+            # attached telemetry nearly free on light traffic.
+            return depths
+        # Far fewer channels hold queued worms than exist, so find the
+        # non-empty ones with one vectorized compare and walk only
+        # those lists — a pure-Python sweep over every channel costs
+        # more than the telemetry epoch close itself at radix >= 16.
+        heads = np.asarray(self._queue_head)
+        w_next = self._w_next
+        for channel in np.nonzero(heads != -1)[0].tolist():
+            head = self._queue_head[channel]
             depth = 0
             while head != -1:
                 depth += 1
@@ -776,3 +787,23 @@ class FabricKernel:
             or self._drain_slot
             or self._drain_add
         )
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Quiescence horizon: the earliest cycle a tick could do work.
+
+        Returns ``cycle`` while any worm owns, queues, drains, or waits
+        (a wormhole fabric advances every cycle it holds traffic), and
+        ``None`` when the fabric is empty — an idle tick is then a
+        guaranteed no-op (the quiescent early-exit above resets a stall
+        counter that is already zero), so the machine engine may skip
+        ticking it until new traffic is injected.
+        """
+        if (
+            self._owned_count
+            or self._queued_count
+            or self._drain_slot
+            or self._drain_add
+            or self._candidates
+        ):
+            return cycle
+        return None

@@ -27,6 +27,7 @@ from repro.mapping.base import Mapping
 from repro.sim.coherence import Block, CoherenceController
 from repro.sim.config import SimulationConfig
 from repro.sim.cut_through import CutThroughFabric
+from repro.sim.engine import MachineEngine, engine_enabled_default
 from repro.sim.message import Message
 from repro.sim.network import TorusFabric
 from repro.sim.processor import Processor
@@ -70,6 +71,12 @@ class Machine:
         suite and fixture generator to run the machine on
         :class:`repro.sim.reference.ReferenceTorusFabric`; when omitted
         the config's ``switching`` picks the production fabric.
+    engine:
+        Whether :meth:`run` uses the event-calendar engine
+        (:mod:`repro.sim.engine`) instead of stepping every cycle.
+        Defaults to on; ``REPRO_SIM_ENGINE=0`` flips the default.  The
+        two paths are bit-identical (pinned by the parity suite) — the
+        engine is purely a performance feature.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class Machine:
         mapping: Mapping,
         programs: Sequence[Sequence[ThreadProgram]],
         fabric_factory: Optional[Callable] = None,
+        engine: Optional[bool] = None,
     ):
         self.config = config
         self.torus = Torus(radix=config.radix, dimensions=config.dimensions)
@@ -132,6 +140,9 @@ class Machine:
         self._cycle = 0
         self.tracer = None
         self.telemetry = None
+        self.engine_enabled = (
+            engine_enabled_default() if engine is None else bool(engine)
+        )
 
         # Event-driven engine scheduling: controllers whose engine went
         # from idle to busy this cycle land on ``_engine_ready`` (via the
@@ -246,28 +257,31 @@ class Machine:
         return self.telemetry
 
     def step(self) -> None:
-        """Advance the machine one network cycle."""
+        """Advance the machine one network cycle (the per-cycle path).
+
+        Retained unchanged in behavior as the event-calendar engine's
+        parity oracle; idle accounting lives in ``Processor.tick`` (its
+        own fast path), the single source of truth both drivers share.
+        """
         cycle = self._cycle
         if cycle % self.config.network_speedup == 0:
             for processor in self.processors:
-                # Inlined idle fast path (mirrors the one in
-                # Processor.tick): a processor with no active context,
-                # nothing runnable and no switch in flight just counts
-                # an idle cycle — skipping the call matters at 64
-                # processors per processor cycle.
-                if (
-                    processor._active is None
-                    and processor._ready_count == 0
-                    and processor._switch_remaining == 0
-                ):
-                    processor.idle_cycles += 1
-                else:
-                    processor.tick(cycle)
-        # Tick exactly the controllers with runnable engine work: those
-        # woken by new work this cycle plus those whose occupancy ends
-        # now.  Node order is semantics — it fixes the order messages
-        # from different nodes enter the fabric within a cycle — so the
-        # batch is sorted before running.
+                processor.tick(cycle)
+        self._tick_controllers(cycle)
+        self.fabric.tick(cycle)
+        if self.tracer is not None:
+            self.tracer.on_cycle(self, cycle)
+        self._cycle += 1
+
+    def _tick_controllers(self, cycle: int) -> None:
+        """Tick exactly the controllers with runnable engine work.
+
+        That is: those woken by new work this cycle plus those whose
+        occupancy ends now.  Node order is semantics — it fixes the
+        order messages from different nodes enter the fabric within a
+        cycle — so the batch is sorted before running.  Shared by
+        :meth:`step` and the event-calendar engine.
+        """
         due = self._engine_wake.pop(cycle, None)
         ready = self._engine_ready
         if ready:
@@ -289,10 +303,6 @@ class Machine:
                         wake[done] = [controller]
                     else:
                         slot.append(controller)
-        self.fabric.tick(cycle)
-        if self.tracer is not None:
-            self.tracer.on_cycle(self, cycle)
-        self._cycle += 1
 
     def run(
         self,
@@ -309,7 +319,12 @@ class Machine:
         measure = (
             self.config.measure_network_cycles if measure is None else measure
         )
-        # The per-cycle loop is the simulator's hottest path, so the
+        # One engine serves both windows; it leaves processor state
+        # flushed to the last boundary after each window, so the
+        # between-window counter sampling below reads exactly what the
+        # per-cycle loop would have left.
+        engine = MachineEngine(self) if self.engine_enabled else None
+        # The run loop is the simulator's hottest path, so the
         # instrumentation wraps the warmup/measurement windows rather
         # than individual steps; cycle totals land on a registry counter.
         with obs.span(
@@ -319,18 +334,29 @@ class Machine:
             nodes=self.torus.node_count,
         ):
             with obs.span("sim.warmup", cycles=warmup):
-                for _ in range(warmup):
-                    self.step()
+                if engine is not None:
+                    engine.run_window(warmup)
+                else:
+                    for _ in range(warmup):
+                        self.step()
 
             idle_before = [p.idle_cycles for p in self.processors]
             switches_before = sum(p.switch_count for p in self.processors)
             self.stats.start_measuring(self._cycle, self.fabric.link_flits)
 
             with obs.span("sim.measure", cycles=measure):
-                for _ in range(measure):
-                    self.step()
+                if engine is not None:
+                    engine.run_window(measure)
+                else:
+                    for _ in range(measure):
+                        self.step()
 
             self.stats.stop_measuring(self._cycle)
+        if engine is not None:
+            # Detach the wake hooks so later step() calls (or a fresh
+            # engine on the next run) don't feed this engine's calendar.
+            for processor in self.processors:
+                processor._wake_listener = None
         if self.telemetry is not None:
             self.telemetry.finalize(self._cycle)
         if obs.is_enabled():

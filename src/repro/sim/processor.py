@@ -110,6 +110,12 @@ class Processor:
         #: skip the round-robin scan entirely (most ticks on a stalled
         #: node find nothing runnable).
         self._ready_count = len(self.contexts) - 1
+        #: Event-calendar hook (see :mod:`repro.sim.engine`): called with
+        #: this processor whenever a transaction completion makes a
+        #: context runnable, so a driver that skips idle processors
+        #: knows to visit this one at the next processor boundary.
+        #: ``None`` (the per-cycle driver) costs one branch per miss.
+        self._wake_listener = None
         self.idle_cycles = 0
         self.switch_count = 0
 
@@ -169,9 +175,71 @@ class Processor:
             ctx.state = ContextState.READY
             ctx.remaining_cycles = ctx.program.compute_cycles(self.rng)
             self._ready_count += 1
+            if self._wake_listener is not None:
+                self._wake_listener(self)
 
         self.controller.request(block, is_write, network_cycle, on_complete)
         self._leave_context(index)
+
+    # ------------------------------------------------------------------
+    # Event-calendar interface (see repro.sim.engine).
+    # ------------------------------------------------------------------
+    #
+    # Between two "interesting" ticks — a run expiring into a memory
+    # access, a switch completing into a fresh run, a wake-up after a
+    # delivery — every tick() call is a pure countdown decrement (or an
+    # idle increment) with no RNG draw and no external interaction.  The
+    # two methods below let a driver account those ticks in bulk and
+    # call tick() only at the boundaries where behavior can change,
+    # bit-identically to ticking every cycle.
+
+    def next_event_ticks(self) -> Optional[int]:
+        """Processor ticks until the next tick() that is not a countdown.
+
+        ``None`` means the processor is idle and will stay idle until a
+        transaction completes (the ``_wake_listener`` hook fires then).
+        The returned distance is immutable until that tick: completions
+        only touch BLOCKED contexts, never the active run or a pending
+        switch, so a scheduled wake can never go stale.
+        """
+        if self._switch_remaining > 0:
+            # s countdown ticks (the s-th activates the target), then
+            # the target's run, then the access on the following tick.
+            target = self.contexts[self._switch_target]
+            return self._switch_remaining + target.remaining_cycles + 1
+        if self._active is not None:
+            return self.contexts[self._active].remaining_cycles + 1
+        return None
+
+    def skip_ticks(self, ticks: int) -> None:
+        """Apply ``ticks`` consecutive countdown ticks in one step.
+
+        Exactly equivalent to calling :meth:`tick` ``ticks`` times
+        *given* that none of those calls would reach an access or a
+        wake-up — the driver guarantees this by never skipping past
+        ``next_event_ticks()`` (nor past a wake notification, for idle
+        processors).
+        """
+        if ticks <= 0:
+            return
+        switch = self._switch_remaining
+        if switch > 0:
+            take = ticks if ticks < switch else switch
+            switch -= take
+            ticks -= take
+            self._switch_remaining = switch
+            if switch == 0:
+                self._active = self._switch_target
+                self._switch_target = None
+            if ticks == 0:
+                return
+        if self._active is not None:
+            self.contexts[self._active].remaining_cycles -= ticks
+        else:
+            # Idle ticks; any READY context appeared strictly after the
+            # skipped window (the engine visits a woken processor at the
+            # first boundary past its wake), so these all counted idle.
+            self.idle_cycles += ticks
 
     # ------------------------------------------------------------------
     # Context management.

@@ -435,3 +435,12 @@ class ReferenceTorusFabric:
         return not (
             self._owned_count or self._queued_count or self._draining
         )
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Quiescence horizon: the earliest cycle a tick could do work.
+
+        ``cycle`` while any worm is anywhere in the fabric; ``None``
+        when empty (an idle tick resets a stall counter that is already
+        zero, so skipping it is exact).
+        """
+        return None if self.quiescent() else cycle

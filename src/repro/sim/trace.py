@@ -134,6 +134,21 @@ class Tracer:
             )
         )
 
+    def on_skip(self, machine, start: int, stop: int) -> None:
+        """Emit the samples cycles ``[start, stop)`` would have taken.
+
+        Fast-forward hook for the event-calendar engine: machine state
+        is frozen across a skipped span (no deliveries, no sends, no
+        hits), so each sample-interval boundary inside it reads the
+        same counters ``on_cycle`` would have read cycle by cycle.
+        """
+        interval = self.sample_interval
+        if interval <= 0:
+            return
+        first = start + (-start % interval)
+        for cycle in range(first, stop, interval):
+            self.on_cycle(machine, cycle)
+
     # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------

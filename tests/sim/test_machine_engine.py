@@ -1,0 +1,330 @@
+"""Tests for the event-calendar machine engine (repro.sim.engine).
+
+The engine's contract is *bit-identity* with the retained per-cycle
+step loop — same RNG draw order, same summary, same telemetry epochs,
+same tracer events and samples — so most tests here run the same
+configuration through both drivers and compare everything observable.
+The unit tests pin the calendar arithmetic the parity rests on:
+``Processor.next_event_ticks`` / ``skip_ticks`` and the fabrics'
+``next_event_cycle`` horizons.
+"""
+
+import pytest
+
+from repro.mapping.strategies import (
+    block_collocation_mapping,
+    identity_mapping,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.cut_through import CutThroughFabric
+from repro.sim.engine import MachineEngine, engine_enabled_default
+from repro.sim.machine import Machine
+from repro.sim.message import Message, MessageKind
+from repro.sim.network import TorusFabric
+from repro.sim.reference import ReferenceTorusFabric
+from repro.sim.telemetry import TelemetryConfig
+from repro.sim.trace import Tracer
+from repro.topology.graphs import ring_graph, torus_neighbor_graph
+from repro.topology.torus import Torus
+from repro.workload.synthetic import build_programs
+
+
+def make_machine(
+    engine,
+    radix=4,
+    dimensions=2,
+    contexts=1,
+    compute=8,
+    switching="cut_through",
+    speedup=2,
+    seed=7,
+    collocated=False,
+):
+    config = SimulationConfig(
+        radix=radix,
+        dimensions=dimensions,
+        contexts=contexts,
+        compute_cycles=compute,
+        switching=switching,
+        network_speedup=speedup,
+        seed=seed,
+    )
+    nodes = config.node_count
+    if collocated:
+        graph = ring_graph(nodes * contexts)
+        programs = build_programs(graph, 1, compute, config.compute_jitter)
+        mapping = block_collocation_mapping(nodes * contexts, nodes)
+    else:
+        graph = torus_neighbor_graph(radix, dimensions)
+        programs = build_programs(
+            graph, contexts, compute, config.compute_jitter
+        )
+        mapping = identity_mapping(nodes)
+    return Machine(config, mapping, programs, engine=engine)
+
+
+def run_both(warmup=300, measure=1200, attach=False, **kw):
+    """Run the same configuration through both drivers; return observables."""
+    results = []
+    for engine in (False, True):
+        machine = make_machine(engine, **kw)
+        tracer = telemetry = None
+        if attach:
+            tracer = Tracer(sample_interval=100)
+            machine.attach_tracer(tracer)
+            telemetry = machine.attach_telemetry(
+                TelemetryConfig(epoch_cycles=128)
+            )
+        summary = machine.run(warmup=warmup, measure=measure)
+        results.append((machine, summary, tracer, telemetry))
+    return results
+
+
+def assert_parity(results):
+    (_, s_loop, t_loop, tel_loop), (_, s_eng, t_eng, tel_eng) = results
+    loop, eng = s_loop.as_dict(), s_eng.as_dict()
+    assert loop == eng, {
+        key: (loop[key], eng[key]) for key in loop if loop[key] != eng[key]
+    }
+    if t_loop is not None:
+        assert list(t_loop.events) == list(t_eng.events)
+        assert t_loop.samples == t_eng.samples
+        assert tel_loop.snapshot() == tel_eng.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Processor wake-calendar arithmetic.
+# ----------------------------------------------------------------------
+
+
+class TestProcessorCalendar:
+    def _advance(self, machine, predicate, limit=5000):
+        """Step until some processor satisfies ``predicate``; return it."""
+        for _ in range(limit):
+            machine.step()
+            for processor in machine.processors:
+                if predicate(processor):
+                    return processor
+        raise AssertionError("no processor reached the wanted state")
+
+    def test_computing_distance_is_remaining_plus_one(self):
+        machine = make_machine(False)
+        processor = machine.processors[0]
+        remaining = processor.contexts[0].remaining_cycles
+        assert processor.next_event_ticks() == remaining + 1
+
+    def test_skip_ticks_burns_compute_countdown(self):
+        machine = make_machine(False)
+        processor = machine.processors[0]
+        before = processor.contexts[0].remaining_cycles
+        assert before > 3
+        processor.skip_ticks(3)
+        assert processor.contexts[0].remaining_cycles == before - 3
+
+    def test_idle_processor_has_no_event(self):
+        machine = make_machine(False, contexts=1)
+        processor = self._advance(machine, lambda p: p._active is None)
+        assert processor.next_event_ticks() is None
+        idle_before = processor.idle_cycles
+        processor.skip_ticks(5)
+        assert processor.idle_cycles == idle_before + 5
+
+    def test_switching_distance_spans_switch_and_target_run(self):
+        machine = make_machine(False, contexts=2, compute=40)
+        processor = self._advance(machine, lambda p: p._switch_remaining > 0)
+        target = processor.contexts[processor._switch_target]
+        expected = (
+            processor._switch_remaining + target.remaining_cycles + 1
+        )
+        assert processor.next_event_ticks() == expected
+
+    def test_skip_ticks_crosses_switch_completion(self):
+        machine = make_machine(False, contexts=2, compute=40)
+        processor = self._advance(machine, lambda p: p._switch_remaining > 0)
+        switch = processor._switch_remaining
+        target = processor._switch_target
+        remaining = processor.contexts[target].remaining_cycles
+        processor.skip_ticks(switch + 2)
+        assert processor._switch_remaining == 0
+        assert processor._active == target
+        assert processor.contexts[target].remaining_cycles == remaining - 2
+
+    def test_skip_zero_is_noop(self):
+        machine = make_machine(False)
+        processor = machine.processors[0]
+        before = processor.contexts[0].remaining_cycles
+        processor.skip_ticks(0)
+        assert processor.contexts[0].remaining_cycles == before
+
+
+# ----------------------------------------------------------------------
+# Fabric quiescence horizons.
+# ----------------------------------------------------------------------
+
+
+def _message(source, destination, uid=0):
+    return Message(MessageKind.READ_REQUEST, source, destination, (0, 0), uid)
+
+
+class TestFabricHorizons:
+    def test_cut_through_empty_fabric_has_no_horizon(self):
+        fabric = CutThroughFabric(Torus(4, 2), on_delivery=lambda t: None)
+        assert fabric.next_event_cycle(0) is None
+
+    def test_cut_through_grantable_now_returns_cycle(self):
+        fabric = CutThroughFabric(Torus(4, 2), on_delivery=lambda t: None)
+        fabric.inject(_message(0, 1), 0)
+        assert fabric.next_event_cycle(0) == 0
+
+    def test_cut_through_horizon_skips_are_noops(self):
+        """Every cycle below the reported horizon must be a no-op tick."""
+        delivered = []
+        fabric = CutThroughFabric(Torus(4, 2), on_delivery=delivered.append)
+        fabric.inject(_message(0, 1, uid=0), 0)
+        fabric.inject(_message(0, 2, uid=1), 0)  # queued behind uid=0
+        cycle = 0
+        while not fabric.quiescent():
+            horizon = fabric.next_event_cycle(cycle)
+            assert horizon is not None and horizon >= cycle
+            if horizon > cycle:
+                state = (
+                    fabric.delivered_count,
+                    list(fabric._pending),
+                    list(fabric._free_at),
+                    list(fabric._head_eligible),
+                )
+                for noop in range(cycle, horizon):
+                    fabric.tick(noop)
+                assert state == (
+                    fabric.delivered_count,
+                    list(fabric._pending),
+                    list(fabric._free_at),
+                    list(fabric._head_eligible),
+                )
+                cycle = horizon
+            fabric.tick(cycle)
+            cycle += 1
+            assert cycle < 1000
+        assert len(delivered) == 2
+
+    def test_cut_through_drain_horizon_is_delivery_cycle(self):
+        fabric = CutThroughFabric(Torus(4, 2), on_delivery=lambda t: None)
+        fabric.inject(_message(0, 1), 0)
+        cycle = 0
+        while fabric._delivery_count == 0:
+            fabric.tick(cycle)
+            cycle += 1
+        if not fabric._pending:
+            assert fabric.next_event_cycle(cycle) == min(fabric._deliveries)
+
+    @pytest.mark.parametrize(
+        "fabric_cls", [TorusFabric, ReferenceTorusFabric]
+    )
+    def test_wormhole_horizon_is_busy_or_none(self, fabric_cls):
+        fabric = fabric_cls(Torus(4, 2), on_delivery=lambda t: None)
+        assert fabric.next_event_cycle(0) is None
+        fabric.inject(_message(0, 1), 0)
+        assert fabric.next_event_cycle(0) == 0
+
+
+# ----------------------------------------------------------------------
+# Tracer fast-forward sampling.
+# ----------------------------------------------------------------------
+
+
+class TestTracerOnSkip:
+    def test_on_skip_matches_cycle_by_cycle_sampling(self):
+        machine = make_machine(False)
+        skipped = Tracer(sample_interval=10)
+        stepped = Tracer(sample_interval=10)
+        skipped.on_skip(machine, 3, 41)
+        for cycle in range(3, 41):
+            stepped.on_cycle(machine, cycle)
+        assert skipped.samples == stepped.samples
+        assert [s.cycle for s in skipped.samples] == [10, 20, 30, 40]
+
+    def test_on_skip_disabled_without_interval(self):
+        machine = make_machine(False)
+        tracer = Tracer(sample_interval=0)
+        tracer.on_skip(machine, 0, 1000)
+        assert tracer.samples == []
+
+
+# ----------------------------------------------------------------------
+# Engine wiring.
+# ----------------------------------------------------------------------
+
+
+class TestEngineWiring:
+    def test_default_follows_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert engine_enabled_default() is True
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "0")
+        assert engine_enabled_default() is False
+        assert make_machine(None).engine_enabled is False
+
+    def test_explicit_flag_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "0")
+        assert make_machine(True).engine_enabled is True
+
+    def test_step_works_after_engine_run(self):
+        machine = make_machine(True)
+        machine.run(warmup=100, measure=400)
+        cycle = machine.cycle
+        machine.step()  # wake listeners must be detached
+        assert machine.cycle == cycle + 1
+
+    def test_second_run_stays_in_parity(self):
+        loop = make_machine(False)
+        engine = make_machine(True)
+        first = (loop.run(warmup=200, measure=600).as_dict(),
+                 engine.run(warmup=200, measure=600).as_dict())
+        assert first[0] == first[1]
+        second = (loop.run(warmup=0, measure=600).as_dict(),
+                  engine.run(warmup=0, measure=600).as_dict())
+        assert second[0] == second[1]
+
+    def test_engine_resumes_mid_machine(self):
+        """An engine built on a stepped machine picks up where it left off."""
+        loop = make_machine(False)
+        resumed = make_machine(False)
+        for _ in range(137):  # not a processor-boundary multiple
+            loop.step()
+            resumed.step()
+        engine = MachineEngine(resumed)
+        engine.run_window(863)
+        for _ in range(863):
+            loop.step()
+        for a, b in zip(loop.processors, resumed.processors):
+            assert a.idle_cycles == b.idle_cycles
+            assert a.switch_count == b.switch_count
+
+
+# ----------------------------------------------------------------------
+# Directed parity (the engine's whole contract).
+# ----------------------------------------------------------------------
+
+
+class TestParity:
+    @pytest.mark.parametrize("switching", ["cut_through", "wormhole"])
+    @pytest.mark.parametrize("speedup", [1, 2])
+    def test_fabric_and_speedup_parity_with_instrumentation(
+        self, switching, speedup
+    ):
+        assert_parity(
+            run_both(switching=switching, speedup=speedup, attach=True)
+        )
+
+    @pytest.mark.parametrize("compute", [8, 400])
+    @pytest.mark.parametrize("contexts", [1, 2])
+    def test_load_parity(self, compute, contexts):
+        assert_parity(run_both(compute=compute, contexts=contexts))
+
+    def test_collocated_parity(self):
+        assert_parity(run_both(contexts=2, collocated=True, attach=True))
+
+    @pytest.mark.parametrize("dimensions,radix", [(1, 8), (3, 3)])
+    def test_torus_shape_parity(self, dimensions, radix):
+        assert_parity(
+            run_both(dimensions=dimensions, radix=radix, attach=True)
+        )
