@@ -144,34 +144,50 @@ def _drive(fabric_cls, radix, dimensions, plan, telemetry=None):
     return seconds, deliveries, fabric.link_flits
 
 
-def measure_workload(name, radix=16, dimensions=2, cycles=1500):
-    """Time kernel vs reference on one workload; verify exact parity."""
+def measure_workload(name, radix=16, dimensions=2, cycles=1500, best_of=1):
+    """Time kernel vs reference on one workload; verify exact parity.
+
+    ``best_of`` takes the minimum wall clock of N alternating
+    reference/kernel drives (parity checked on every round).  The
+    quick-mode rows finish in single-digit milliseconds, where one-shot
+    ratios carry ±20% scheduler jitter — the committed baselines are
+    snapshotted best-of-N so the ``repro-bench compare`` gate watches
+    the kernel, not the scheduler.
+    """
     plan = _schedule(radix, dimensions, cycles, WORKLOADS[name])
-    ref_seconds, ref_deliveries, ref_flits = _drive(
-        ReferenceTorusFabric, radix, dimensions, plan
-    )
-    kernel_seconds, kernel_deliveries, kernel_flits = _drive(
-        FabricKernel, radix, dimensions, plan
-    )
+    ref_seconds = kernel_seconds = float("inf")
+    parity = True
+    messages = 0
+    for _ in range(max(1, best_of)):
+        seconds, ref_deliveries, ref_flits = _drive(
+            ReferenceTorusFabric, radix, dimensions, plan
+        )
+        ref_seconds = min(ref_seconds, seconds)
+        seconds, kernel_deliveries, kernel_flits = _drive(
+            FabricKernel, radix, dimensions, plan
+        )
+        kernel_seconds = min(kernel_seconds, seconds)
+        parity = parity and (
+            kernel_deliveries == ref_deliveries and kernel_flits == ref_flits
+        )
+        messages = len(kernel_deliveries)
     return {
         "bench": name,
         "config": f"radix-{radix} {dimensions}-D torus, {cycles} cycles",
         "wall_s": round(kernel_seconds, 4),
         "reference_wall_s": round(ref_seconds, 4),
         "speedup_vs_reference": round(ref_seconds / kernel_seconds, 2),
-        "parity": (
-            kernel_deliveries == ref_deliveries and kernel_flits == ref_flits
-        ),
-        "messages": len(kernel_deliveries),
+        "parity": parity,
+        "messages": messages,
     }
 
 
-def measure_suite(quick=False):
+def measure_suite(quick=False, best_of=1):
     """The full workload suite (smaller fabric/windows under ``quick``)."""
     radix = 8 if quick else 16
     cycles = 300 if quick else 1500
     return [
-        measure_workload(name, radix=radix, cycles=cycles)
+        measure_workload(name, radix=radix, cycles=cycles, best_of=best_of)
         for name in WORKLOADS
     ]
 
@@ -393,9 +409,11 @@ def test_fabric_kernel_speedup(bench_record):
     """The headline claim: >= 5x on the tree-saturation workload.
 
     Always checks cycle-exact parity on every workload; only enforces
-    the timing floor under ``REPRO_BENCH_STRICT=1``.
+    the timing floor under ``REPRO_BENCH_STRICT=1``.  Rows run best-of-3
+    so the BENCH json this session leaves behind (the compare gate's
+    input) is not a single-shot number.
     """
-    rows = measure_suite(quick=not STRICT)
+    rows = measure_suite(quick=not STRICT, best_of=3)
     for row in rows:
         assert row["parity"], f"kernel diverged from reference: {row}"
         bench_record(
@@ -477,18 +495,28 @@ def main(argv=None) -> int:
         help="run a single workload (plus its telemetry-overhead row) "
         "instead of the full suite",
     )
+    parser.add_argument(
+        "--best-of", type=int, default=1, metavar="N",
+        help="take the best wall clock of N drives per workload row "
+        "(default: 1)",
+    )
     args = parser.parse_args(argv)
     if args.workload:
         radix = 8 if args.quick else 16
         cycles = 300 if args.quick else 1500
-        rows = [measure_workload(args.workload, radix=radix, cycles=cycles)]
+        rows = [
+            measure_workload(
+                args.workload, radix=radix, cycles=cycles,
+                best_of=args.best_of,
+            )
+        ]
         rows.append(
             measure_telemetry_overhead(
                 quick=args.quick, workload=args.workload
             )
         )
     else:
-        rows = measure_suite(quick=args.quick)
+        rows = measure_suite(quick=args.quick, best_of=args.best_of)
         rows.append(measure_telemetry_overhead(quick=args.quick))
         rows.extend(measure_machine_suite(quick=args.quick))
         rows.append(measure_replication_scaling(quick=args.quick))

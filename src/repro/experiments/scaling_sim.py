@@ -48,6 +48,7 @@ def run(
     quick: bool = False,
     telemetry: bool = False,
     radices=None,
+    batch: bool = True,
 ) -> ExperimentResult:
     """Sweep machine radix; measure d, rho, T_m; compare to the model.
 
@@ -60,7 +61,10 @@ def run(
     on the event-calendar engine, radix-16 and radix-32 2-D tori
     (256/1024 nodes) are practical sweep points — the CI smoke runs
     ``radices=(16,)`` — where the per-cycle loop made anything past
-    radix-12 a batch job.
+    radix-12 a batch job.  ``batch`` (default on) runs each point's
+    replications through the lockstep batch engine in one pass;
+    per-seed summaries are bit-identical either way, so this is purely
+    a wall-clock lever for the CI series.
     """
     if radices is None:
         radices = (4, 8) if quick else (4, 6, 8, 12)
@@ -99,6 +103,7 @@ def run(
             config, mapping, programs,
             seeds=default_seeds(config.seed, replications),
             telemetry=telemetry_config,
+            batch=replications if batch else 1,
         )
         # Point estimates come from the first seed (the old single-seed
         # run); the replications contribute only the spread.

@@ -11,9 +11,12 @@ object-based implementation it replaced survives as
 :class:`repro.sim.reference.ReferenceTorusFabric`, the executable
 specification the parity suite pins the kernel to cycle for cycle.
 Multi-seed replication with error bars lives in
-:mod:`repro.sim.replicate`.
+:mod:`repro.sim.replicate`; :mod:`repro.sim.batch` runs many seeds of
+one config in lockstep (one engine pass, bit-identical per-seed
+summaries), behind ``run_replications(..., batch=R)``.
 """
 
+from repro.sim.batch import BatchMachine, run_batch
 from repro.sim.coherence import CacheState, CoherenceController, DirectoryState
 from repro.sim.config import SimulationConfig
 from repro.sim.kernel import FabricKernel
@@ -53,6 +56,8 @@ __all__ = [
     "FabricKernel",
     "ReferenceTorusFabric",
     "ReferenceWorm",
+    "BatchMachine",
+    "run_batch",
     "MetricAggregate",
     "ReplicationResult",
     "aggregate_summaries",

@@ -1,0 +1,1639 @@
+/* Batched replication core: C transliteration of repro.sim.batch's
+ * coherence controller + cut-through fabric + per-cycle advance loop.
+ *
+ * The pure-Python BatchController/BatchFabric in batch.py is the
+ * behavioral spec (itself parity-pinned against the serial machine);
+ * this file ports it line for line so every replication's
+ * MeasurementSummary stays bit-identical to the serial run.  Python
+ * keeps the processors (unmodified RNG draw order) and drives this
+ * core between processor boundaries via bc_advance().
+ *
+ * Compiled on demand by repro.sim.batchcore with the system C
+ * compiler; no Python.h dependency (pure ABI, loaded via cffi).
+ */
+
+#include <stdlib.h>
+#include <string.h>
+#include <stdint.h>
+#include <stdio.h>
+
+typedef long long i64;
+typedef unsigned long long u64;
+
+#define NEVER (1LL << 62)
+
+/* ------------------------------------------------------------------ */
+/* CPython set-order emulation.                                        */
+/*                                                                     */
+/* Directory sharer fan-out iterates a Python set in the serial        */
+/* engine, and message emission order feeds fabric arbitration, so     */
+/* bit-exactness requires reproducing CPython 3.11 setobject.c slot    */
+/* order exactly: same probe sequence (LINEAR_PROBES=9, perturb>>=5,   */
+/* i = i*5+1+perturb), same resize points (fill*5 >= mask*3 -> grow    */
+/* to used*4), same insert_clean rebuild.  Keys here are node ids      */
+/* (small non-negative ints, hash(x) == x), so a slot holds the key    */
+/* itself with -2 = empty, -1 = dummy.                                 */
+/* ------------------------------------------------------------------ */
+
+#define SET_EMPTY (-2LL)
+#define SET_DUMMY (-1LL)
+
+typedef struct {
+    i64 *t;
+    i64 mask;
+    i64 fill;  /* active + dummy */
+    i64 used;  /* active */
+} Set;
+
+static void set_init(Set *s) {
+    s->t = (i64 *)malloc(8 * sizeof(i64));
+    for (int i = 0; i < 8; i++) s->t[i] = SET_EMPTY;
+    s->mask = 7;
+    s->fill = 0;
+    s->used = 0;
+}
+
+static void set_free(Set *s) {
+    free(s->t);
+    s->t = NULL;
+}
+
+/* Rebind to a fresh empty set (Python: entry.sharers = set() / {...}). */
+static void set_reset(Set *s) {
+    if (s->mask == 7 && s->fill == 0) return;
+    free(s->t);
+    set_init(s);
+}
+
+static void set_insert_clean(i64 *table, i64 mask, i64 key) {
+    u64 perturb = (u64)key;
+    i64 i = key & mask;
+    for (;;) {
+        i64 *entry = &table[i];
+        i64 probes = (i + 9 <= mask) ? 10 : 1;
+        do {
+            if (*entry == SET_EMPTY) { *entry = key; return; }
+            entry++;
+        } while (--probes);
+        perturb >>= 5;
+        i = (i * 5 + 1 + (i64)perturb) & mask;
+    }
+}
+
+static void set_resize(Set *s, i64 minused) {
+    i64 newsize = 8;
+    while (newsize <= minused) newsize <<= 1;
+    i64 *old = s->t;
+    i64 oldmask = s->mask;
+    s->t = (i64 *)malloc((size_t)newsize * sizeof(i64));
+    for (i64 i = 0; i < newsize; i++) s->t[i] = SET_EMPTY;
+    s->mask = newsize - 1;
+    s->fill = s->used;
+    for (i64 i = 0; i <= oldmask; i++)
+        if (old[i] >= 0) set_insert_clean(s->t, s->mask, old[i]);
+    free(old);
+}
+
+static void set_add(Set *s, i64 key) {
+    i64 mask = s->mask;
+    u64 perturb = (u64)key;
+    i64 i = key & mask;
+    i64 *freeslot = NULL;
+    for (;;) {
+        i64 *entry = &s->t[i];
+        i64 probes = (i + 9 <= mask) ? 10 : 1;
+        do {
+            i64 h = *entry;
+            if (h == SET_EMPTY) {
+                if (freeslot != NULL) {
+                    *freeslot = key;
+                    s->used++;
+                    return;
+                }
+                *entry = key;
+                s->fill++;
+                s->used++;
+                if ((u64)s->fill * 5 < (u64)mask * 3) return;
+                set_resize(s, s->used > 50000 ? s->used * 2 : s->used * 4);
+                return;
+            }
+            if (h == key) return;
+            if (h == SET_DUMMY) freeslot = entry;  /* last dummy wins */
+            entry++;
+        } while (--probes);
+        perturb >>= 5;
+        i = (i * 5 + 1 + (i64)perturb) & mask;
+    }
+}
+
+static i64 *set_find(Set *s, i64 key) {
+    i64 mask = s->mask;
+    u64 perturb = (u64)key;
+    i64 i = key & mask;
+    for (;;) {
+        i64 *entry = &s->t[i];
+        i64 probes = (i + 9 <= mask) ? 10 : 1;
+        do {
+            if (*entry == key) return entry;
+            if (*entry == SET_EMPTY) return NULL;
+            entry++;
+        } while (--probes);
+        perturb >>= 5;
+        i = (i * 5 + 1 + (i64)perturb) & mask;
+    }
+}
+
+static int set_contains(Set *s, i64 key) {
+    return set_find(s, key) != NULL;
+}
+
+static void set_discard(Set *s, i64 key) {
+    i64 *entry = set_find(s, key);
+    if (entry != NULL) {
+        *entry = SET_DUMMY;
+        s->used--;
+    }
+}
+
+/* -- standalone test API (fuzzed against real interpreter sets) ----- */
+
+void *ts_new(void) {
+    Set *s = (Set *)malloc(sizeof(Set));
+    set_init(s);
+    return s;
+}
+
+void ts_free(void *p) {
+    set_free((Set *)p);
+    free(p);
+}
+
+void ts_add(void *p, i64 key) { set_add((Set *)p, key); }
+void ts_discard(void *p, i64 key) { set_discard((Set *)p, key); }
+int ts_contains(void *p, i64 key) { return set_contains((Set *)p, key); }
+i64 ts_len(void *p) { return ((Set *)p)->used; }
+
+i64 ts_items(void *p, i64 *out) {
+    Set *s = (Set *)p;
+    i64 n = 0;
+    for (i64 i = 0; i <= s->mask; i++)
+        if (s->t[i] >= 0) out[n++] = s->t[i];
+    return n;
+}
+
+/* ------------------------------------------------------------------ */
+/* Protocol constants (mirrors repro.sim.message / coherence enums).   */
+/* ------------------------------------------------------------------ */
+
+enum {
+    K_READ = 0, K_WRITE = 1, K_DATA = 2, K_INV = 3,
+    K_ACK = 4, K_FETCH = 5, K_FETCHINV = 6, K_WB = 7,
+};
+
+/* DATA_REPLY and WRITEBACK carry data (24 flits); the rest are
+ * control (8).  Guarded at load time by batchcore.py against
+ * repro.sim.message._FLITS_BY_KIND. */
+static const int FLITS_OF[8] = {8, 8, 24, 8, 8, 8, 8, 24};
+
+enum { CS_INVALID = 0, CS_SHARED = 1, CS_MODIFIED = 2 };
+enum { DS_UNOWNED = 0, DS_SHARED = 1, DS_MODIFIED = 2 };
+
+enum {
+    OP_HANDLE = 0, OP_BEGIN = 1, OP_LAUNCH = 2, OP_REPLY = 3,
+    OP_FINISH = 4, OP_DEFER = 5, OP_NOP = 6,
+};
+
+#define UID_STRIDE (1LL << 20)
+
+/* ------------------------------------------------------------------ */
+/* Pooled objects.                                                     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int kind, source, dest, block, flits;
+    i64 txn, injected_at;
+    int next_free;
+} Msg;
+
+typedef struct {
+    int msg, route_off, route_len, hop;
+    i64 wait;
+    int next_free;
+} Transit;
+
+typedef struct {
+    int is_write;
+    i64 handle;
+    int next;
+} Waiter;
+
+typedef struct {
+    int block, is_write, messages;
+    i64 issued_at, uid, handle;
+    int whead, wtail;
+    int next_free;
+} Req;
+
+/* Engine event (one opcode tuple of the Python port). */
+typedef struct {
+    int cost, op, b0, a0, a1;
+    i64 a2;
+} Ev;
+
+typedef struct {
+    Ev *q;
+    int head, count, cap;
+    Ev cur;
+    int has_cur, ticking, notified;
+    i64 done_at, next_uid;
+} Ctrl;
+
+typedef struct {
+    int requester, is_write;
+    i64 txn;
+} DefItem;
+
+typedef struct {
+    int8_t state, busy, init, txn_active, txn_is_write, txn_wb;
+    int owner, txn_requester, txn_pending;
+    i64 txn_uid;
+    Set sharers;
+    DefItem *ditems;
+    int dhead, dcount, dcap;
+} Dir;
+
+/* LRU-as-dict-order cache: append-only (block, seq) log per
+ * (rep, node); an entry is live iff the block's state is non-invalid
+ * and its seq matches.  Compacted when the log outgrows the live set. */
+typedef struct {
+    int *items;  /* pairs (block, seq) */
+    int start, end, cap;
+    int live, seq;
+} CacheLog;
+
+typedef struct {
+    i64 elig;
+    int transit;
+} QEnt;
+
+typedef struct {
+    QEnt *q;
+    int head, count, cap;
+} Queue;
+
+typedef struct {
+    u64 key;  /* (cycle << 32) | seq */
+    int transit;
+} DHEnt;
+
+typedef struct {
+    i64 *free_at;
+    i64 *head_elig;
+    Queue *queues;
+    int *pending, *pend2;
+    int pcount;
+    i64 *link_flits;
+    DHEnt *dheap;
+    int dcount, dcap;
+    u64 dseq;
+    i64 in_flight;
+} Fab;
+
+typedef struct {
+    i64 cycle;
+    Ctrl *ctrl;
+    int *ready;
+    int ready_count;
+    u64 *wake;  /* heap of (done_at << 20) | node */
+    int wcount, wcap;
+    Fab fab;
+    int measuring;
+    i64 sent, flits_sum, flits_sq, delivered, lat_total, hops_total;
+    i64 hopl_count, started, rcompleted, lcompleted, txn_lat, evictions;
+    double hopl_total;
+    i64 *per_node_sent;
+    i64 *comp;  /* pairs (handle, cycle) */
+    int comp_count, comp_cap;
+    int *batch;  /* ctrl-phase scratch */
+} Rep;
+
+typedef struct Batch {
+    int R, N, dims, radix, capacity, channels, links;
+    int req_cost, recv_cost, send_cost, mem_cost;
+    i64 RN;
+    int errcode;
+    char errmsg[256];
+    /* blocks (block-major so adding a block appends, never relayouts) */
+    int nblocks, blocks_cap;
+    int *block_home;
+    int8_t *cache_state;  /* [block*R*N + rep*N + node] */
+    int *cache_seq;       /* same layout */
+    int *outstanding;     /* same layout; -1 or Req index */
+    Dir *dir;             /* [block*R + rep] */
+    CacheLog *clog;       /* [rep*N + node] */
+    /* pools */
+    Msg *msgs;
+    int msgs_cap, msg_free;
+    Transit *transits;
+    int transits_cap, transit_free;
+    Req *reqs;
+    int reqs_cap, req_free;
+    Waiter *waiters;
+    int waiters_cap, waiter_free;
+    /* shared e-cube routes */
+    int **route_rows;  /* [N] -> [N] arena offsets or -1 */
+    int *arena;        /* [len, ch...] records */
+    int arena_len, arena_cap;
+    int *pow_radix;    /* [dims] */
+    Rep *reps;
+} Batch;
+
+static void fail(Batch *b, int code, const char *msg) {
+    if (b->errcode) return;
+    b->errcode = code;
+    snprintf(b->errmsg, sizeof(b->errmsg), "%s", msg);
+}
+
+/* -- pool allocators ------------------------------------------------ */
+
+static int msg_new(Batch *b, int kind, int source, int dest, int block,
+                   i64 txn) {
+    int idx = b->msg_free;
+    if (idx < 0) {
+        int old = b->msgs_cap;
+        b->msgs_cap = old ? old * 2 : 256;
+        b->msgs = (Msg *)realloc(b->msgs, (size_t)b->msgs_cap * sizeof(Msg));
+        for (int i = old; i < b->msgs_cap; i++)
+            b->msgs[i].next_free = (i + 1 < b->msgs_cap) ? i + 1 : -1;
+        idx = old;
+    }
+    Msg *m = &b->msgs[idx];
+    b->msg_free = m->next_free;
+    m->kind = kind;
+    m->source = source;
+    m->dest = dest;
+    m->block = block;
+    m->flits = FLITS_OF[kind];
+    m->txn = txn;
+    m->injected_at = -1;
+    return idx;
+}
+
+static void msg_del(Batch *b, int idx) {
+    b->msgs[idx].next_free = b->msg_free;
+    b->msg_free = idx;
+}
+
+static int transit_new(Batch *b, int msg, int route_off, int route_len) {
+    int idx = b->transit_free;
+    if (idx < 0) {
+        int old = b->transits_cap;
+        b->transits_cap = old ? old * 2 : 256;
+        b->transits = (Transit *)realloc(
+            b->transits, (size_t)b->transits_cap * sizeof(Transit));
+        for (int i = old; i < b->transits_cap; i++)
+            b->transits[i].next_free = (i + 1 < b->transits_cap) ? i + 1 : -1;
+        idx = old;
+    }
+    Transit *t = &b->transits[idx];
+    b->transit_free = t->next_free;
+    t->msg = msg;
+    t->route_off = route_off;
+    t->route_len = route_len;
+    t->hop = 0;
+    t->wait = 0;
+    return idx;
+}
+
+static void transit_del(Batch *b, int idx) {
+    b->transits[idx].next_free = b->transit_free;
+    b->transit_free = idx;
+}
+
+static int req_new(Batch *b, int block, int is_write, i64 issued_at,
+                   i64 uid, i64 handle) {
+    int idx = b->req_free;
+    if (idx < 0) {
+        int old = b->reqs_cap;
+        b->reqs_cap = old ? old * 2 : 128;
+        b->reqs = (Req *)realloc(b->reqs,
+                                 (size_t)b->reqs_cap * sizeof(Req));
+        for (int i = old; i < b->reqs_cap; i++)
+            b->reqs[i].next_free = (i + 1 < b->reqs_cap) ? i + 1 : -1;
+        idx = old;
+    }
+    Req *r = &b->reqs[idx];
+    b->req_free = r->next_free;
+    r->block = block;
+    r->is_write = is_write;
+    r->messages = 0;
+    r->issued_at = issued_at;
+    r->uid = uid;
+    r->handle = handle;
+    r->whead = -1;
+    r->wtail = -1;
+    return idx;
+}
+
+static void req_del(Batch *b, int idx) {
+    int w = b->reqs[idx].whead;
+    while (w >= 0) {
+        int nxt = b->waiters[w].next;
+        b->waiters[w].next = b->waiter_free;
+        b->waiter_free = w;
+        w = nxt;
+    }
+    b->reqs[idx].next_free = b->req_free;
+    b->req_free = idx;
+}
+
+static void req_add_waiter(Batch *b, int ridx, int is_write, i64 handle) {
+    int idx = b->waiter_free;
+    if (idx < 0) {
+        int old = b->waiters_cap;
+        b->waiters_cap = old ? old * 2 : 128;
+        b->waiters = (Waiter *)realloc(
+            b->waiters, (size_t)b->waiters_cap * sizeof(Waiter));
+        for (int i = old; i < b->waiters_cap; i++)
+            b->waiters[i].next = (i + 1 < b->waiters_cap) ? i + 1 : -1;
+        idx = old;
+    }
+    Waiter *w = &b->waiters[idx];
+    b->waiter_free = w->next;
+    w->is_write = is_write;
+    w->handle = handle;
+    w->next = -1;
+    Req *r = &b->reqs[ridx];
+    if (r->wtail < 0) r->whead = idx;
+    else b->waiters[r->wtail].next = idx;
+    r->wtail = idx;
+}
+
+/* ------------------------------------------------------------------ */
+/* Cache (LRU-as-dict-order) over the append-only log.                 */
+/* ------------------------------------------------------------------ */
+
+#define CSTATE(b, blk, r, node) \
+    ((b)->cache_state[(size_t)(blk) * (b)->RN + (size_t)(r) * (b)->N + (node)])
+#define CSEQ(b, blk, r, node) \
+    ((b)->cache_seq[(size_t)(blk) * (b)->RN + (size_t)(r) * (b)->N + (node)])
+#define OUTST(b, blk, r, node) \
+    ((b)->outstanding[(size_t)(blk) * (b)->RN + (size_t)(r) * (b)->N + (node)])
+
+static void clog_append(Batch *b, CacheLog *cl, int r, int node,
+                        int block, int seq) {
+    if (cl->end >= cl->cap) {
+        /* Compact first if the log is mostly stale, else grow. */
+        if (cl->end - cl->start > 4 * cl->live + 16) {
+            int w = cl->start;
+            for (int i = cl->start; i < cl->end; i++) {
+                int blk = cl->items[2 * i], sq = cl->items[2 * i + 1];
+                if (CSTATE(b, blk, r, node) != CS_INVALID &&
+                    CSEQ(b, blk, r, node) == sq) {
+                    cl->items[2 * w] = blk;
+                    cl->items[2 * w + 1] = sq;
+                    w++;
+                }
+            }
+            /* slide to origin */
+            memmove(cl->items, cl->items + 2 * cl->start,
+                    (size_t)(w - cl->start) * 2 * sizeof(int));
+            cl->end = w - cl->start;
+            cl->start = 0;
+        }
+        if (cl->end >= cl->cap) {
+            cl->cap = cl->cap ? cl->cap * 2 : 16;
+            cl->items = (int *)realloc(cl->items,
+                                       (size_t)cl->cap * 2 * sizeof(int));
+        }
+    }
+    cl->items[2 * cl->end] = block;
+    cl->items[2 * cl->end + 1] = seq;
+    cl->end++;
+}
+
+static int cache_get(Batch *b, int r, int node, int block) {
+    return CSTATE(b, block, r, node);
+}
+
+/* cache.pop(block, None): returns prior state (CS_INVALID if absent). */
+static int cache_pop(Batch *b, int r, int node, int block) {
+    int st = CSTATE(b, block, r, node);
+    if (st != CS_INVALID) {
+        CSTATE(b, block, r, node) = CS_INVALID;
+        b->clog[(size_t)r * b->N + node].live--;
+    }
+    return st;
+}
+
+/* cache[block] = state after a pop: append to the back of LRU order. */
+static void cache_put(Batch *b, int r, int node, int block, int state) {
+    CacheLog *cl = &b->clog[(size_t)r * b->N + node];
+    int seq = ++cl->seq;
+    CSTATE(b, block, r, node) = (int8_t)state;
+    CSEQ(b, block, r, node) = seq;
+    cl->live++;
+    clog_append(b, cl, r, node, block, seq);
+}
+
+/* record_access: pop + reinsert (touch). */
+void bc_record_access(Batch *b, int r, int node, int block) {
+    if (CSTATE(b, block, r, node) == CS_INVALID) return;
+    CacheLog *cl = &b->clog[(size_t)r * b->N + node];
+    int seq = ++cl->seq;
+    CSEQ(b, block, r, node) = seq;
+    clog_append(b, cl, r, node, block, seq);
+}
+
+int bc_is_hit(Batch *b, int r, int node, int block, int is_write) {
+    int st = CSTATE(b, block, r, node);
+    if (is_write) return st == CS_MODIFIED;
+    return st != CS_INVALID;
+}
+
+/* First live entry in LRU order that is neither `block` nor
+ * outstanding (port of the _install victim scan over dict order). */
+static int cache_victim(Batch *b, int r, int node, int block) {
+    CacheLog *cl = &b->clog[(size_t)r * b->N + node];
+    for (int i = cl->start; i < cl->end; i++) {
+        int blk = cl->items[2 * i], sq = cl->items[2 * i + 1];
+        if (CSTATE(b, blk, r, node) == CS_INVALID ||
+            CSEQ(b, blk, r, node) != sq) {
+            if (i == cl->start) cl->start++;
+            continue;
+        }
+        if (blk == block || OUTST(b, blk, r, node) >= 0) continue;
+        return blk;
+    }
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Directory entries.                                                  */
+/* ------------------------------------------------------------------ */
+
+static Dir *dir_entry(Batch *b, int r, int block) {
+    Dir *d = &b->dir[(size_t)block * b->R + r];
+    if (!d->init) {
+        d->init = 1;
+        d->state = DS_UNOWNED;
+        d->busy = 0;
+        d->txn_active = 0;
+        d->owner = -1;
+        set_init(&d->sharers);
+        d->ditems = NULL;
+        d->dhead = 0;
+        d->dcount = 0;
+        d->dcap = 0;
+    }
+    return d;
+}
+
+static void dir_defer(Dir *d, int requester, int is_write, i64 txn) {
+    if (d->dcount >= d->dcap) {
+        int old = d->dcap;
+        d->dcap = old ? old * 2 : 4;
+        DefItem *ni = (DefItem *)malloc((size_t)d->dcap * sizeof(DefItem));
+        for (int i = 0; i < d->dcount; i++)
+            ni[i] = d->ditems[(d->dhead + i) % (old ? old : 1)];
+        free(d->ditems);
+        d->ditems = ni;
+        d->dhead = 0;
+    }
+    DefItem *it = &d->ditems[(d->dhead + d->dcount) % d->dcap];
+    it->requester = requester;
+    it->is_write = is_write;
+    it->txn = txn;
+    d->dcount++;
+}
+
+/* ------------------------------------------------------------------ */
+/* Engine queue / wake heap / completions.                             */
+/* ------------------------------------------------------------------ */
+
+static void ev_push(Ctrl *c, Ev ev) {
+    if (c->count >= c->cap) {
+        int old = c->cap;
+        c->cap = old ? old * 2 : 8;
+        Ev *nq = (Ev *)malloc((size_t)c->cap * sizeof(Ev));
+        for (int i = 0; i < c->count; i++)
+            nq[i] = c->q[(c->head + i) % (old ? old : 1)];
+        free(c->q);
+        c->q = nq;
+        c->head = 0;
+    }
+    c->q[(c->head + c->count) % c->cap] = ev;
+    c->count++;
+}
+
+static Ev ev_pop(Ctrl *c) {
+    Ev ev = c->q[c->head];
+    c->head = (c->head + 1) % c->cap;
+    c->count--;
+    return ev;
+}
+
+static void wheap_push(Rep *rep, u64 key) {
+    if (rep->wcount >= rep->wcap) {
+        rep->wcap = rep->wcap ? rep->wcap * 2 : 16;
+        rep->wake = (u64 *)realloc(rep->wake,
+                                   (size_t)rep->wcap * sizeof(u64));
+    }
+    int i = rep->wcount++;
+    u64 *h = rep->wake;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (h[p] <= key) break;
+        h[i] = h[p];
+        i = p;
+    }
+    h[i] = key;
+}
+
+static u64 wheap_pop(Rep *rep) {
+    u64 *h = rep->wake;
+    u64 top = h[0];
+    u64 last = h[--rep->wcount];
+    int n = rep->wcount, i = 0;
+    for (;;) {
+        int l = 2 * i + 1;
+        if (l >= n) break;
+        if (l + 1 < n && h[l + 1] < h[l]) l++;
+        if (h[l] >= last) break;
+        h[i] = h[l];
+        i = l;
+    }
+    if (n) h[i] = last;
+    return top;
+}
+
+static void comp_push(Rep *rep, i64 handle, i64 cycle) {
+    if (rep->comp_count * 2 + 2 > rep->comp_cap) {
+        rep->comp_cap = rep->comp_cap ? rep->comp_cap * 2 : 64;
+        rep->comp = (i64 *)realloc(rep->comp,
+                                   (size_t)rep->comp_cap * sizeof(i64));
+    }
+    rep->comp[2 * rep->comp_count] = handle;
+    rep->comp[2 * rep->comp_count + 1] = cycle;
+    rep->comp_count++;
+}
+
+/* ------------------------------------------------------------------ */
+/* Shared e-cube routes (port of Torus.route_hops + FabricGeometry).   */
+/* Channel ids: inj(s)=s, ej(d)=N+d, link(node,dim,step) =             */
+/* 2N + (node*dims + dim)*2 + (step==+1 ? 0 : 1).                      */
+/* ------------------------------------------------------------------ */
+
+static int route_get(Batch *b, int src, int dst, int *len_out) {
+    int *row = b->route_rows[src];
+    if (row == NULL) {
+        row = (int *)malloc((size_t)b->N * sizeof(int));
+        for (int i = 0; i < b->N; i++) row[i] = -1;
+        b->route_rows[src] = row;
+    }
+    int off = row[dst];
+    if (off >= 0) {
+        *len_out = b->arena[off];
+        return off + 1;
+    }
+    /* build */
+    int chans[2 + 64];  /* dims * radix hops max; guarded in bc_create */
+    int len = 0;
+    chans[len++] = src;  /* injection channel */
+    int node = src;
+    int ca[8], cb[8];
+    int tmp = src;
+    for (int d = 0; d < b->dims; d++) { ca[d] = tmp % b->radix; tmp /= b->radix; }
+    tmp = dst;
+    for (int d = 0; d < b->dims; d++) { cb[d] = tmp % b->radix; tmp /= b->radix; }
+    for (int d = 0; d < b->dims; d++) {
+        int forward = cb[d] - ca[d];
+        if (forward < 0) forward += b->radix;
+        if (forward == 0) continue;
+        int backward = b->radix - forward;
+        int step, n;
+        if (forward <= backward) { step = 1; n = forward; }
+        else { step = -1; n = backward; }
+        for (int i = 0; i < n; i++) {
+            chans[len++] = 2 * b->N + (node * b->dims + d) * 2 +
+                           (step == 1 ? 0 : 1);
+            int oldc = ca[d];
+            int newc = oldc + step;
+            if (newc < 0) newc += b->radix;
+            if (newc >= b->radix) newc -= b->radix;
+            node += (newc - oldc) * b->pow_radix[d];
+            ca[d] = newc;
+        }
+    }
+    chans[len++] = b->N + dst;  /* ejection channel */
+    if (b->arena_len + len + 1 > b->arena_cap) {
+        b->arena_cap = b->arena_cap ? b->arena_cap * 2 : 4096;
+        while (b->arena_len + len + 1 > b->arena_cap) b->arena_cap *= 2;
+        b->arena = (int *)realloc(b->arena,
+                                  (size_t)b->arena_cap * sizeof(int));
+    }
+    off = b->arena_len;
+    b->arena[off] = len;
+    memcpy(b->arena + off + 1, chans, (size_t)len * sizeof(int));
+    b->arena_len += len + 1;
+    row[dst] = off;
+    *len_out = len;
+    return off + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Fabric (port of BatchFabric).                                       */
+/* ------------------------------------------------------------------ */
+
+static void qe_push(Queue *q, i64 elig, int transit) {
+    if (q->count >= q->cap) {
+        int old = q->cap;
+        q->cap = old ? old * 2 : 4;
+        QEnt *nq = (QEnt *)malloc((size_t)q->cap * sizeof(QEnt));
+        for (int i = 0; i < q->count; i++)
+            nq[i] = q->q[(q->head + i) % (old ? old : 1)];
+        free(q->q);
+        q->q = nq;
+        q->head = 0;
+    }
+    q->q[(q->head + q->count) % q->cap].elig = elig;
+    q->q[(q->head + q->count) % q->cap].transit = transit;
+    q->count++;
+}
+
+static QEnt qe_pop(Queue *q) {
+    QEnt e = q->q[q->head];
+    q->head = (q->head + 1) % q->cap;
+    q->count--;
+    return e;
+}
+
+static void dheap_push(Fab *f, u64 key, int transit) {
+    if (f->dcount >= f->dcap) {
+        f->dcap = f->dcap ? f->dcap * 2 : 32;
+        f->dheap = (DHEnt *)realloc(f->dheap,
+                                    (size_t)f->dcap * sizeof(DHEnt));
+    }
+    int i = f->dcount++;
+    DHEnt *h = f->dheap;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (h[p].key <= key) break;
+        h[i] = h[p];
+        i = p;
+    }
+    h[i].key = key;
+    h[i].transit = transit;
+}
+
+static DHEnt dheap_pop(Fab *f) {
+    DHEnt *h = f->dheap;
+    DHEnt top = h[0];
+    DHEnt last = h[--f->dcount];
+    int n = f->dcount, i = 0;
+    for (;;) {
+        int l = 2 * i + 1;
+        if (l >= n) break;
+        if (l + 1 < n && h[l + 1].key < h[l].key) l++;
+        if (h[l].key >= last.key) break;
+        h[i] = h[l];
+        i = l;
+    }
+    if (n) h[i] = last;
+    return top;
+}
+
+static void fab_inject(Batch *b, Rep *rep, int midx, i64 cycle) {
+    Fab *f = &rep->fab;
+    Msg *m = &b->msgs[midx];
+    m->injected_at = cycle;
+    int rlen;
+    int roff = route_get(b, m->source, m->dest, &rlen);
+    int tidx = transit_new(b, midx, roff, rlen);
+    int ch = b->arena[roff];
+    Queue *q = &f->queues[ch];
+    if (!q->count) {
+        f->pending[f->pcount++] = ch;
+        f->head_elig[ch] = cycle;
+    }
+    qe_push(q, cycle, tidx);
+    f->in_flight++;
+}
+
+static i64 fab_next(Batch *b, Rep *rep, i64 cycle) {
+    Fab *f = &rep->fab;
+    i64 earliest = f->dcount ? (i64)(f->dheap[0].key >> 32) : -1;
+    for (int i = 0; i < f->pcount; i++) {
+        int ch = f->pending[i];
+        i64 at = f->free_at[ch];
+        i64 el = f->head_elig[ch];
+        if (el > at) at = el;
+        if (at <= cycle) return cycle;
+        if (earliest < 0 || at < earliest) earliest = at;
+    }
+    return earliest;
+}
+
+/* ------------------------------------------------------------------ */
+/* Controller engine + protocol handlers (port of BatchController).    */
+/* ------------------------------------------------------------------ */
+
+static void ctrl_execute(Batch *b, Rep *rep, int r, int node, Ev *ev,
+                         i64 done);
+
+static void ctrl_schedule(Rep *rep, int node, int cost, int op, int b0,
+                          int a0, int a1, i64 a2) {
+    Ctrl *c = &rep->ctrl[node];
+    Ev ev;
+    ev.cost = cost;
+    ev.op = op;
+    ev.b0 = b0;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.a2 = a2;
+    ev_push(c, ev);
+    if (!c->has_cur && !c->ticking && !c->notified) {
+        c->notified = 1;
+        rep->ready[rep->ready_count++] = node;
+    }
+}
+
+static void ctrl_tick(Batch *b, Rep *rep, int r, int node, i64 cycle) {
+    Ctrl *c = &rep->ctrl[node];
+    c->ticking = 1;
+    for (;;) {
+        if (c->has_cur) {
+            if (c->done_at > cycle) break;
+            c->has_cur = 0;
+            Ev ev = c->cur;
+            ctrl_execute(b, rep, r, node, &ev, c->done_at);
+            if (b->errcode) break;
+            continue;
+        }
+        if (!c->count) break;
+        Ev ev = ev_pop(c);
+        if (ev.cost == 0) {
+            ctrl_execute(b, rep, r, node, &ev, cycle);
+            if (b->errcode) break;
+            continue;
+        }
+        c->done_at = cycle + ev.cost;
+        c->cur = ev;
+        c->has_cur = 1;
+    }
+    c->ticking = 0;
+}
+
+static void do_emit(Batch *b, Rep *rep, int r, int node, int kind,
+                    int dest, int block, i64 txn) {
+    int midx = msg_new(b, kind, node, dest, block, txn);
+    ctrl_schedule(rep, node, b->send_cost, OP_LAUNCH, 0, midx, -1, 0);
+}
+
+static void do_reply_with_data(Batch *b, Rep *rep, int r, int node,
+                               int block, int requester, i64 txn) {
+    Dir *d = dir_entry(b, r, block);
+    d->busy = 1;
+    if (requester == node)
+        ctrl_schedule(rep, node, b->mem_cost, OP_FINISH, 0, 0, block, 0);
+    else
+        ctrl_schedule(rep, node, b->mem_cost, OP_REPLY, 0, requester, block,
+                      txn);
+}
+
+static void do_run_deferred(Batch *b, Rep *rep, int r, int node, int block) {
+    Dir *d = dir_entry(b, r, block);
+    if (!d->dcount || d->busy) return;
+    DefItem it = d->ditems[d->dhead];
+    d->dhead = (d->dhead + 1) % d->dcap;
+    d->dcount--;
+    ctrl_schedule(rep, node, b->req_cost, OP_DEFER, it.is_write,
+                  it.requester, block, it.txn);
+}
+
+static void do_absorb_writeback(Batch *b, Rep *rep, int r, int node,
+                                int block, int source, int source_retains);
+static void do_evict(Batch *b, Rep *rep, int r, int node, int block);
+
+static void do_install(Batch *b, Rep *rep, int r, int node, int block,
+                       int state) {
+    cache_pop(b, r, node, block);
+    cache_put(b, r, node, block, state);
+    if (b->capacity <= 0) return;
+    CacheLog *cl = &b->clog[(size_t)r * b->N + node];
+    while (cl->live > b->capacity) {
+        int victim = cache_victim(b, r, node, block);
+        if (victim < 0) return;
+        do_evict(b, rep, r, node, victim);
+        if (b->errcode) return;
+    }
+}
+
+static void do_evict(Batch *b, Rep *rep, int r, int node, int block) {
+    int state = cache_pop(b, r, node, block);
+    if (rep->measuring) rep->evictions++;
+    if (state != CS_MODIFIED) return;
+    int home = b->block_home[block];
+    if (home == node) {
+        do_absorb_writeback(b, rep, r, node, block, node, 0);
+        ctrl_schedule(rep, node, b->mem_cost, OP_NOP, 0, 0, 0, 0);
+    } else {
+        do_emit(b, rep, r, node, K_WB, home, block, -1);
+    }
+}
+
+static void do_grant_write(Batch *b, Rep *rep, int r, int node, int block,
+                           int requester, i64 txn) {
+    Dir *d = dir_entry(b, r, block);
+    d->state = DS_MODIFIED;
+    set_reset(&d->sharers);
+    d->owner = requester;
+    do_reply_with_data(b, rep, r, node, block, requester, txn);
+}
+
+static void do_home_read(Batch *b, Rep *rep, int r, int node, int block,
+                         int requester, i64 txn) {
+    Dir *d = dir_entry(b, r, block);
+    if (d->state == DS_MODIFIED && d->owner != requester) {
+        if (d->owner == node) {
+            do_install(b, rep, r, node, block, CS_SHARED);
+            d = dir_entry(b, r, block);
+            d->state = DS_SHARED;
+            set_reset(&d->sharers);
+            set_add(&d->sharers, node);
+            set_add(&d->sharers, requester);
+            d->owner = -1;
+            do_reply_with_data(b, rep, r, node, block, requester, txn);
+            return;
+        }
+        d->busy = 1;
+        d->txn_active = 1;
+        d->txn_requester = requester;
+        d->txn_is_write = 0;
+        d->txn_uid = txn;
+        d->txn_pending = 0;
+        d->txn_wb = 1;
+        do_emit(b, rep, r, node, K_FETCH, d->owner, block, txn);
+        return;
+    }
+    if (d->state == DS_MODIFIED) {
+        int owner = d->owner;
+        set_reset(&d->sharers);
+        set_add(&d->sharers, owner);
+        d->owner = -1;
+    }
+    d->state = DS_SHARED;
+    set_add(&d->sharers, requester);
+    do_reply_with_data(b, rep, r, node, block, requester, txn);
+}
+
+static void do_home_write(Batch *b, Rep *rep, int r, int node, int block,
+                          int requester, i64 txn) {
+    Dir *d = dir_entry(b, r, block);
+    if (d->state == DS_MODIFIED && d->owner != requester) {
+        if (d->owner == node) {
+            cache_pop(b, r, node, block);
+            d->owner = requester;
+            do_reply_with_data(b, rep, r, node, block, requester, txn);
+            return;
+        }
+        d->busy = 1;
+        d->txn_active = 1;
+        d->txn_requester = requester;
+        d->txn_is_write = 1;
+        d->txn_uid = txn;
+        d->txn_pending = 0;
+        d->txn_wb = 1;
+        do_emit(b, rep, r, node, K_FETCHINV, d->owner, block, txn);
+        return;
+    }
+    /* remote_sharers = {s for s in entry.sharers if s != requester} */
+    Set rs;
+    set_init(&rs);
+    for (i64 i = 0; i <= d->sharers.mask; i++) {
+        i64 s = d->sharers.t[i];
+        if (s >= 0 && s != requester) set_add(&rs, s);
+    }
+    if (set_contains(&rs, node)) {
+        cache_pop(b, r, node, block);
+        set_discard(&rs, node);
+    }
+    if (rs.used) {
+        d->busy = 1;
+        d->txn_active = 1;
+        d->txn_requester = requester;
+        d->txn_is_write = 1;
+        d->txn_uid = txn;
+        d->txn_pending = (int)rs.used;
+        d->txn_wb = 0;
+        for (i64 i = 0; i <= rs.mask; i++) {
+            i64 s = rs.t[i];
+            if (s >= 0)
+                do_emit(b, rep, r, node, K_INV, (int)s, block, txn);
+        }
+        set_free(&rs);
+        return;
+    }
+    set_free(&rs);
+    do_grant_write(b, rep, r, node, block, requester, txn);
+}
+
+static void do_home_handle_request(Batch *b, Rep *rep, int r, int node,
+                                   int block, int requester, int is_write,
+                                   i64 txn) {
+    if (b->block_home[block] != node) {
+        fail(b, 2, "request received at a non-home node");
+        return;
+    }
+    Dir *d = dir_entry(b, r, block);
+    if (d->busy) {
+        dir_defer(d, requester, is_write, txn);
+        return;
+    }
+    if (is_write)
+        do_home_write(b, rep, r, node, block, requester, txn);
+    else
+        do_home_read(b, rep, r, node, block, requester, txn);
+}
+
+static void do_home_handle_ack(Batch *b, Rep *rep, int r, int node,
+                               int block) {
+    Dir *d = dir_entry(b, r, block);
+    if (!d->txn_active || d->txn_pending <= 0) {
+        fail(b, 2, "unexpected invalidate ack");
+        return;
+    }
+    d->txn_pending--;
+    if (d->txn_pending > 0) return;
+    int requester = d->txn_requester;
+    i64 uid = d->txn_uid;
+    d->txn_active = 0;
+    d->busy = 0;
+    do_grant_write(b, rep, r, node, block, requester, uid);
+    do_run_deferred(b, rep, r, node, block);
+}
+
+static void do_absorb_writeback(Batch *b, Rep *rep, int r, int node,
+                                int block, int source, int source_retains) {
+    Dir *d = dir_entry(b, r, block);
+    if (d->txn_active && d->txn_wb) {
+        int requester = d->txn_requester;
+        int is_write = d->txn_is_write;
+        i64 uid = d->txn_uid;
+        d->txn_active = 0;
+        d->busy = 0;
+        if (is_write) {
+            d->state = DS_MODIFIED;
+            set_reset(&d->sharers);
+            d->owner = requester;
+        } else {
+            d->state = DS_SHARED;
+            set_reset(&d->sharers);
+            set_add(&d->sharers, requester);
+            if (source_retains) set_add(&d->sharers, source);
+            d->owner = -1;
+        }
+        do_reply_with_data(b, rep, r, node, block, requester, uid);
+        do_run_deferred(b, rep, r, node, block);
+        return;
+    }
+    if (d->txn_active) {
+        fail(b, 2, "writeback collided with a non-fetch transaction");
+        return;
+    }
+    if (d->state != DS_MODIFIED || d->owner != source) {
+        fail(b, 2, "eviction writeback does not match directory state");
+        return;
+    }
+    d->state = DS_UNOWNED;
+    set_reset(&d->sharers);
+    d->owner = -1;
+    do_run_deferred(b, rep, r, node, block);
+}
+
+static void do_handle_fetch(Batch *b, Rep *rep, int r, int node, int block,
+                            int source, i64 txn, int invalidate) {
+    int state = cache_get(b, r, node, block);
+    if (state == CS_INVALID) return;
+    if (state != CS_MODIFIED) {
+        fail(b, 2, "fetch for a block not in M state");
+        return;
+    }
+    if (invalidate)
+        cache_pop(b, r, node, block);
+    else
+        do_install(b, rep, r, node, block, CS_SHARED);
+    do_emit(b, rep, r, node, K_WB, source, block, txn);
+}
+
+static void do_release_waiters(Batch *b, Rep *rep, int r, int node,
+                               int block, int whead, int state, i64 cycle);
+static void request_internal(Batch *b, Rep *rep, int r, int node, int block,
+                             int is_write, i64 cycle, i64 handle);
+
+static void do_complete_remote_miss(Batch *b, Rep *rep, int r, int node,
+                                    int block, i64 cycle) {
+    int ridx = OUTST(b, block, r, node);
+    if (ridx < 0) {
+        fail(b, 2, "data reply with no outstanding request");
+        return;
+    }
+    OUTST(b, block, r, node) = -1;
+    Req *req = &b->reqs[ridx];
+    int state = req->is_write ? CS_MODIFIED : CS_SHARED;
+    do_install(b, rep, r, node, block, state);
+    if (rep->measuring) {
+        rep->rcompleted++;
+        rep->txn_lat += cycle - req->issued_at;
+    }
+    comp_push(rep, req->handle, cycle);
+    int whead = req->whead;
+    req->whead = -1;
+    req->wtail = -1;
+    do_release_waiters(b, rep, r, node, block, whead, state, cycle);
+    req_del(b, ridx);
+}
+
+static void do_finish_local(Batch *b, Rep *rep, int r, int node, int block,
+                            i64 cycle) {
+    int ridx = OUTST(b, block, r, node);
+    if (ridx < 0) {
+        fail(b, 2, "local completion with no outstanding request");
+        return;
+    }
+    OUTST(b, block, r, node) = -1;
+    Req *req = &b->reqs[ridx];
+    int state = req->is_write ? CS_MODIFIED : CS_SHARED;
+    do_install(b, rep, r, node, block, state);
+    Dir *d = dir_entry(b, r, block);
+    d->busy = 0;
+    int remote = req->messages > 0;
+    if (rep->measuring) {
+        if (remote) {
+            rep->rcompleted++;
+            rep->txn_lat += cycle - req->issued_at;
+        } else {
+            rep->lcompleted++;
+        }
+    }
+    comp_push(rep, req->handle, cycle);
+    int whead = req->whead;
+    req->whead = -1;
+    req->wtail = -1;
+    do_run_deferred(b, rep, r, node, block);
+    do_release_waiters(b, rep, r, node, block, whead, state, cycle);
+    req_del(b, ridx);
+}
+
+static void do_release_waiters(Batch *b, Rep *rep, int r, int node,
+                               int block, int whead, int state, i64 cycle) {
+    int w = whead;
+    while (w >= 0) {
+        Waiter wt = b->waiters[w];
+        if (wt.is_write && state != CS_MODIFIED)
+            request_internal(b, rep, r, node, block, 1, cycle, wt.handle);
+        else
+            comp_push(rep, wt.handle, cycle);
+        int nxt = wt.next;
+        b->waiters[w].next = b->waiter_free;
+        b->waiter_free = w;
+        w = nxt;
+    }
+}
+
+static void request_internal(Batch *b, Rep *rep, int r, int node, int block,
+                             int is_write, i64 cycle, i64 handle) {
+    int existing = OUTST(b, block, r, node);
+    if (existing >= 0) {
+        req_add_waiter(b, existing, is_write, handle);
+        return;
+    }
+    Ctrl *c = &rep->ctrl[node];
+    i64 uid = c->next_uid;
+    c->next_uid = uid + UID_STRIDE;
+    int ridx = req_new(b, block, is_write, cycle, uid, handle);
+    OUTST(b, block, r, node) = ridx;
+    if (rep->measuring) rep->started++;
+    ctrl_schedule(rep, node, b->req_cost, OP_BEGIN, 0, ridx, 0, 0);
+}
+
+static void do_launch(Batch *b, Rep *rep, int r, int node, int midx,
+                      i64 cycle) {
+    Msg *m = &b->msgs[midx];
+    int ridx = OUTST(b, m->block, r, node);
+    if (ridx >= 0 && b->reqs[ridx].uid == m->txn) b->reqs[ridx].messages++;
+    if (rep->measuring) {
+        rep->sent++;
+        rep->flits_sum += m->flits;
+        rep->flits_sq += (i64)m->flits * m->flits;
+        rep->per_node_sent[node]++;
+    }
+    if (m->dest == node) {
+        fail(b, 1, "self-addressed message; local transactions must "
+                   "complete without the network");
+        return;
+    }
+    fab_inject(b, rep, midx, cycle);
+}
+
+static void do_handle(Batch *b, Rep *rep, int r, int node, int midx,
+                      i64 cycle) {
+    Msg *m = &b->msgs[midx];
+    int kind = m->kind, block = m->block, source = m->source;
+    i64 txn = m->txn;
+    msg_del(b, midx);
+    switch (kind) {
+    case K_READ:
+        do_home_handle_request(b, rep, r, node, block, source, 0, txn);
+        break;
+    case K_DATA:
+        do_complete_remote_miss(b, rep, r, node, block, cycle);
+        break;
+    case K_WRITE:
+        do_home_handle_request(b, rep, r, node, block, source, 1, txn);
+        break;
+    case K_INV:
+        cache_pop(b, r, node, block);
+        do_emit(b, rep, r, node, K_ACK, source, block, txn);
+        break;
+    case K_ACK:
+        do_home_handle_ack(b, rep, r, node, block);
+        break;
+    case K_FETCH:
+        do_handle_fetch(b, rep, r, node, block, source, txn, 0);
+        break;
+    case K_FETCHINV:
+        do_handle_fetch(b, rep, r, node, block, source, txn, 1);
+        break;
+    case K_WB:
+        do_absorb_writeback(b, rep, r, node, block, source, txn != -1);
+        break;
+    default:
+        fail(b, 2, "unhandled message kind");
+    }
+}
+
+static void ctrl_execute(Batch *b, Rep *rep, int r, int node, Ev *ev,
+                         i64 done) {
+    switch (ev->op) {
+    case OP_HANDLE:
+        do_handle(b, rep, r, node, ev->a0, done);
+        break;
+    case OP_LAUNCH:
+        do_launch(b, rep, r, node, ev->a0, done);
+        if (ev->a1 >= 0) {
+            Dir *d = dir_entry(b, r, ev->a1);
+            d->busy = 0;
+            do_run_deferred(b, rep, r, node, ev->a1);
+        }
+        break;
+    case OP_REPLY: {
+        int midx = msg_new(b, K_DATA, node, ev->a0, ev->a1, ev->a2);
+        ctrl_schedule(rep, node, b->send_cost, OP_LAUNCH, 0, midx, ev->a1,
+                      0);
+        break;
+    }
+    case OP_FINISH:
+        do_finish_local(b, rep, r, node, ev->a1, done);
+        break;
+    case OP_BEGIN: {
+        Req *req = &b->reqs[ev->a0];
+        int block = req->block;
+        int home = b->block_home[block];
+        if (home == node) {
+            do_home_handle_request(b, rep, r, node, block, node,
+                                   req->is_write, req->uid);
+        } else {
+            do_emit(b, rep, r, node, req->is_write ? K_WRITE : K_READ, home,
+                    block, req->uid);
+        }
+        break;
+    }
+    case OP_DEFER:
+        do_home_handle_request(b, rep, r, node, ev->a1, ev->a0, ev->b0,
+                               ev->a2);
+        do_run_deferred(b, rep, r, node, ev->a1);
+        break;
+    case OP_NOP:
+        break;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fabric tick (port of BatchFabric.tick; telemetry-free path).        */
+/* ------------------------------------------------------------------ */
+
+static void fab_tick(Batch *b, Rep *rep, int r, i64 cycle) {
+    Fab *f = &rep->fab;
+    /* Deliveries first: heap keyed (cycle, seq) reproduces the serial
+     * per-cycle insertion-order arrival lists. */
+    while (f->dcount && (i64)(f->dheap[0].key >> 32) == cycle) {
+        DHEnt e = dheap_pop(f);
+        Transit *t = &b->transits[e.transit];
+        Msg *m = &b->msgs[t->msg];
+        i64 latency = cycle - m->injected_at;
+        f->in_flight--;
+        if (rep->measuring) {
+            rep->delivered++;
+            rep->lat_total += latency;
+            int hops = t->route_len - 2;
+            rep->hops_total += hops;
+            if (hops > 0) {
+                i64 head = latency - m->flits - t->wait;
+                rep->hopl_total += (double)head / (double)hops;
+                rep->hopl_count++;
+            }
+        }
+        ctrl_schedule(rep, m->dest, b->recv_cost, OP_HANDLE, 0, t->msg, -1,
+                      0);
+        transit_del(b, e.transit);
+    }
+    if (!f->pcount) return;
+    int *pending = f->pending;
+    int n = f->pcount;
+    int *newp = f->pend2;
+    int nn = 0;
+    for (int i = 0; i < n; i++) {
+        int ch = pending[i];
+        if (f->free_at[ch] > cycle || f->head_elig[ch] > cycle) {
+            newp[nn++] = ch;
+            continue;
+        }
+        Queue *q = &f->queues[ch];
+        int tidx = qe_pop(q).transit;
+        f->head_elig[ch] = q->count ? q->q[q->head].elig : NEVER;
+        Transit *t = &b->transits[tidx];
+        Msg *m = &b->msgs[t->msg];
+        int flits = m->flits;
+        i64 until = cycle + flits;
+        f->free_at[ch] = until;
+        int hop = t->hop;
+        if (hop == 0) {
+            t->wait = cycle - m->injected_at;
+        } else {
+            int link = ch - 2 * b->N;
+            if (link >= 0) f->link_flits[link] += flits;
+        }
+        hop++;
+        t->hop = hop;
+        if (hop >= t->route_len) {
+            dheap_push(f, ((u64)until << 32) | (f->dseq++ & 0xffffffffULL),
+                       tidx);
+        } else {
+            int nxt = b->arena[t->route_off + hop];
+            Queue *nq = &f->queues[nxt];
+            if (!nq->count) {
+                newp[nn++] = nxt;
+                f->head_elig[nxt] = cycle + 1;
+            }
+            qe_push(nq, cycle + 1, tidx);
+        }
+        if (q->count) newp[nn++] = ch;
+    }
+    f->pending = newp;
+    f->pend2 = pending;
+    f->pcount = nn;
+}
+
+/* ------------------------------------------------------------------ */
+/* Advance loop (ctrl phase + fabric phase + quiescence jump).         */
+/* Processes cycles in [rep->cycle, stop); returns early with          */
+/* cycle + 1 as soon as a cycle produced completions so Python can     */
+/* run the callbacks and recompute the next processor boundary.        */
+/* ------------------------------------------------------------------ */
+
+i64 bc_advance(Batch *b, int r, i64 stop) {
+    Rep *rep = &b->reps[r];
+    i64 cycle = rep->cycle;
+    while (cycle < stop) {
+        /* ctrl phase: wake-heap dues + ready list, ascending node */
+        int bn = 0;
+        int *batch = rep->batch;
+        while (rep->wcount && (i64)(rep->wake[0] >> 20) == cycle)
+            batch[bn++] = (int)(wheap_pop(rep) & 0xFFFFF);
+        if (rep->ready_count) {
+            memcpy(batch + bn, rep->ready,
+                   (size_t)rep->ready_count * sizeof(int));
+            bn += rep->ready_count;
+            rep->ready_count = 0;
+        }
+        if (bn) {
+            if (bn > 1) {
+                for (int i = 1; i < bn; i++) {  /* insertion sort */
+                    int v = batch[i], j = i - 1;
+                    while (j >= 0 && batch[j] > v) {
+                        batch[j + 1] = batch[j];
+                        j--;
+                    }
+                    batch[j + 1] = v;
+                }
+            }
+            for (int i = 0; i < bn; i++) {
+                int node = batch[i];
+                Ctrl *c = &rep->ctrl[node];
+                c->notified = 0;
+                ctrl_tick(b, rep, r, node, cycle);
+                if (b->errcode) return -1;
+                if (c->has_cur)
+                    wheap_push(rep, ((u64)c->done_at << 20) | (u64)node);
+            }
+        }
+        fab_tick(b, rep, r, cycle);
+        if (b->errcode) return -1;
+        if (rep->comp_count) {
+            rep->cycle = cycle + 1;
+            return cycle + 1;
+        }
+        i64 nxt = cycle + 1;
+        if (!rep->ready_count) {
+            i64 horizon = fab_next(b, rep, nxt);
+            if (horizon < 0 || horizon > nxt) {
+                i64 target = stop;
+                if (rep->wcount) {
+                    i64 wt = (i64)(rep->wake[0] >> 20);
+                    if (wt < target) target = wt;
+                }
+                if (horizon >= 0 && horizon < target) target = horizon;
+                if (target > nxt) nxt = target;
+            }
+        }
+        cycle = nxt;
+    }
+    rep->cycle = stop;
+    return stop;
+}
+
+/* ------------------------------------------------------------------ */
+/* Public API.                                                         */
+/* ------------------------------------------------------------------ */
+
+Batch *bc_create(int R, int N, int dims, int radix, int capacity,
+                 int req_cost, int recv_cost, int send_cost, int mem_cost) {
+    if (N >= (1 << 20) || dims > 8 || dims * radix > 62) return NULL;
+    Batch *b = (Batch *)calloc(1, sizeof(Batch));
+    b->R = R;
+    b->N = N;
+    b->dims = dims;
+    b->radix = radix;
+    b->capacity = capacity;
+    b->req_cost = req_cost;
+    b->recv_cost = recv_cost;
+    b->send_cost = send_cost;
+    b->mem_cost = mem_cost;
+    b->RN = (i64)R * N;
+    b->channels = 2 * N + 2 * N * dims;
+    b->links = 2 * N * dims;
+    b->msg_free = -1;
+    b->transit_free = -1;
+    b->req_free = -1;
+    b->waiter_free = -1;
+    b->route_rows = (int **)calloc((size_t)N, sizeof(int *));
+    b->pow_radix = (int *)malloc((size_t)dims * sizeof(int));
+    int p = 1;
+    for (int d = 0; d < dims; d++) { b->pow_radix[d] = p; p *= radix; }
+    b->clog = (CacheLog *)calloc((size_t)R * N, sizeof(CacheLog));
+    b->reps = (Rep *)calloc((size_t)R, sizeof(Rep));
+    for (int r = 0; r < R; r++) {
+        Rep *rep = &b->reps[r];
+        rep->ctrl = (Ctrl *)calloc((size_t)N, sizeof(Ctrl));
+        for (int i = 0; i < N; i++) rep->ctrl[i].next_uid = i;
+        rep->ready = (int *)malloc((size_t)N * sizeof(int));
+        rep->batch = (int *)malloc((size_t)2 * N * sizeof(int));
+        rep->per_node_sent = (i64 *)calloc((size_t)N, sizeof(i64));
+        Fab *f = &rep->fab;
+        f->free_at = (i64 *)calloc((size_t)b->channels, sizeof(i64));
+        f->head_elig = (i64 *)malloc((size_t)b->channels * sizeof(i64));
+        for (int c = 0; c < b->channels; c++) f->head_elig[c] = NEVER;
+        f->queues = (Queue *)calloc((size_t)b->channels, sizeof(Queue));
+        f->pending = (int *)malloc((size_t)b->channels * sizeof(int));
+        f->pend2 = (int *)malloc((size_t)b->channels * sizeof(int));
+        f->link_flits = (i64 *)calloc((size_t)b->links, sizeof(i64));
+    }
+    return b;
+}
+
+void bc_destroy(Batch *b) {
+    if (b == NULL) return;
+    for (int r = 0; r < b->R; r++) {
+        Rep *rep = &b->reps[r];
+        for (int i = 0; i < b->N; i++) free(rep->ctrl[i].q);
+        free(rep->ctrl);
+        free(rep->ready);
+        free(rep->batch);
+        free(rep->per_node_sent);
+        free(rep->wake);
+        free(rep->comp);
+        Fab *f = &rep->fab;
+        for (int c = 0; c < b->channels; c++) free(f->queues[c].q);
+        free(f->queues);
+        free(f->free_at);
+        free(f->head_elig);
+        free(f->pending);
+        free(f->pend2);
+        free(f->link_flits);
+        free(f->dheap);
+    }
+    free(b->reps);
+    for (int i = 0; i < b->nblocks * b->R; i++) {
+        if (b->dir[i].init) {
+            set_free(&b->dir[i].sharers);
+            free(b->dir[i].ditems);
+        }
+    }
+    free(b->dir);
+    for (int i = 0; i < b->R * b->N; i++) free(b->clog[i].items);
+    free(b->clog);
+    for (int i = 0; i < b->N; i++) free(b->route_rows[i]);
+    free(b->route_rows);
+    free(b->arena);
+    free(b->pow_radix);
+    free(b->block_home);
+    free(b->cache_state);
+    free(b->cache_seq);
+    free(b->outstanding);
+    free(b->msgs);
+    free(b->transits);
+    free(b->reqs);
+    free(b->waiters);
+    free(b);
+}
+
+int bc_add_block(Batch *b, int home) {
+    if (b->nblocks >= b->blocks_cap) {
+        int old = b->blocks_cap;
+        b->blocks_cap = old ? old * 2 : 64;
+        b->block_home = (int *)realloc(
+            b->block_home, (size_t)b->blocks_cap * sizeof(int));
+        b->cache_state = (int8_t *)realloc(
+            b->cache_state, (size_t)b->blocks_cap * b->RN);
+        b->cache_seq = (int *)realloc(
+            b->cache_seq, (size_t)b->blocks_cap * b->RN * sizeof(int));
+        b->outstanding = (int *)realloc(
+            b->outstanding, (size_t)b->blocks_cap * b->RN * sizeof(int));
+        b->dir = (Dir *)realloc(
+            b->dir, (size_t)b->blocks_cap * b->R * sizeof(Dir));
+    }
+    int blk = b->nblocks++;
+    b->block_home[blk] = home;
+    memset(b->cache_state + (size_t)blk * b->RN, 0, (size_t)b->RN);
+    memset(b->cache_seq + (size_t)blk * b->RN, 0,
+           (size_t)b->RN * sizeof(int));
+    for (i64 i = 0; i < b->RN; i++)
+        b->outstanding[(size_t)blk * b->RN + i] = -1;
+    memset(b->dir + (size_t)blk * b->R, 0, (size_t)b->R * sizeof(Dir));
+    return blk;
+}
+
+void bc_request(Batch *b, int r, int node, int block, int is_write,
+                i64 cycle, i64 handle) {
+    request_internal(b, &b->reps[r], r, node, block, is_write, cycle,
+                     handle);
+}
+
+i64 bc_cycle(Batch *b, int r) { return b->reps[r].cycle; }
+
+int bc_comp_count(Batch *b, int r) { return b->reps[r].comp_count; }
+i64 *bc_comp_ptr(Batch *b, int r) { return b->reps[r].comp; }
+void bc_comp_clear(Batch *b, int r) { b->reps[r].comp_count = 0; }
+
+void bc_start_measuring(Batch *b, int r) {
+    Rep *rep = &b->reps[r];
+    rep->measuring = 1;
+    rep->sent = rep->flits_sum = rep->flits_sq = 0;
+    rep->delivered = rep->lat_total = rep->hops_total = 0;
+    rep->hopl_count = rep->started = 0;
+    rep->rcompleted = rep->lcompleted = rep->txn_lat = rep->evictions = 0;
+    rep->hopl_total = 0.0;
+    memset(rep->per_node_sent, 0, (size_t)b->N * sizeof(i64));
+}
+
+void bc_get_counters(Batch *b, int r, i64 *out_i, double *out_d) {
+    Rep *rep = &b->reps[r];
+    out_i[0] = rep->sent;
+    out_i[1] = rep->flits_sum;
+    out_i[2] = rep->flits_sq;
+    out_i[3] = rep->delivered;
+    out_i[4] = rep->lat_total;
+    out_i[5] = rep->hops_total;
+    out_i[6] = rep->hopl_count;
+    out_i[7] = rep->started;
+    out_i[8] = rep->rcompleted;
+    out_i[9] = rep->lcompleted;
+    out_i[10] = rep->txn_lat;
+    out_i[11] = rep->evictions;
+    out_d[0] = rep->hopl_total;
+}
+
+void bc_get_link_flits(Batch *b, int r, i64 *out) {
+    memcpy(out, b->reps[r].fab.link_flits,
+           (size_t)b->links * sizeof(i64));
+}
+
+void bc_get_per_node_sent(Batch *b, int r, i64 *out) {
+    memcpy(out, b->reps[r].per_node_sent, (size_t)b->N * sizeof(i64));
+}
+
+i64 bc_in_flight(Batch *b, int r) { return b->reps[r].fab.in_flight; }
+
+int bc_errcode(Batch *b) { return b->errcode; }
+const char *bc_errmsg(Batch *b) { return b->errmsg; }

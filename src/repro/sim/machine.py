@@ -35,11 +35,82 @@ from repro.sim.stats import MachineStats, MeasurementSummary
 from repro.topology.torus import Torus
 from repro.workload.base import ThreadProgram
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "place_programs"]
 
 
 def _controller_node(controller: CoherenceController) -> int:
     return controller.node
+
+
+def place_programs(
+    config: SimulationConfig,
+    mapping: Mapping,
+    programs: Sequence[Sequence[ThreadProgram]],
+    node_count: int,
+) -> tuple:
+    """Validate a (mapping, programs) combination and place threads.
+
+    Shared by :class:`Machine` and the batched replication engine
+    (:mod:`repro.sim.batch`), so both accept exactly the same two modes
+    (replicated instances vs collocation) with the same error messages.
+    Returns ``(collocated, programs_at)`` where ``programs_at[node]`` is
+    the per-context program list for that node.
+    """
+    if mapping.processors != node_count:
+        raise SimulationError(
+            f"mapping targets {mapping.processors} processors; machine "
+            f"has {node_count}"
+        )
+    if mapping.threads == node_count:
+        mapping.require_bijective()
+        collocated = False
+        if len(programs) != config.contexts:
+            raise SimulationError(
+                f"{len(programs)} program instances for "
+                f"{config.contexts} contexts"
+            )
+    elif mapping.threads == node_count * config.contexts:
+        collocated = True
+        if len(programs) != 1:
+            raise SimulationError(
+                "collocation mode runs a single application instance; "
+                f"got {len(programs)} program instances"
+            )
+        load = mapping.load()
+        if len(load) != node_count or any(
+            count != config.contexts for count in load.values()
+        ):
+            raise SimulationError(
+                f"collocation mode needs exactly {config.contexts} "
+                "threads on every node"
+            )
+    else:
+        raise SimulationError(
+            f"mapping covers {mapping.threads} threads; expected "
+            f"{node_count} (replicated instances) or "
+            f"{node_count * config.contexts} (collocation)"
+        )
+    for instance in programs:
+        if len(instance) != mapping.threads:
+            raise SimulationError(
+                "every instance must provide one program per thread"
+            )
+    if collocated:
+        programs_at = {
+            node: [programs[0][t] for t in mapping.threads_on(node)]
+            for node in range(node_count)
+        }
+    else:
+        # Bijective mapping: exactly one thread per node.
+        thread_at = {p: t for t, p in mapping.items()}
+        programs_at = {
+            node: [
+                programs[instance][thread_at[node]]
+                for instance in range(config.contexts)
+            ]
+            for node in range(node_count)
+        }
+    return collocated, programs_at
 
 
 class Machine:
@@ -89,46 +160,9 @@ class Machine:
     ):
         self.config = config
         self.torus = Torus(radix=config.radix, dimensions=config.dimensions)
-        if mapping.processors != self.torus.node_count:
-            raise SimulationError(
-                f"mapping targets {mapping.processors} processors; machine "
-                f"has {self.torus.node_count}"
-            )
-        nodes = self.torus.node_count
-        if mapping.threads == nodes:
-            mapping.require_bijective()
-            self._collocated = False
-            if len(programs) != config.contexts:
-                raise SimulationError(
-                    f"{len(programs)} program instances for "
-                    f"{config.contexts} contexts"
-                )
-        elif mapping.threads == nodes * config.contexts:
-            self._collocated = True
-            if len(programs) != 1:
-                raise SimulationError(
-                    "collocation mode runs a single application instance; "
-                    f"got {len(programs)} program instances"
-                )
-            load = mapping.load()
-            if len(load) != nodes or any(
-                count != config.contexts for count in load.values()
-            ):
-                raise SimulationError(
-                    f"collocation mode needs exactly {config.contexts} "
-                    "threads on every node"
-                )
-        else:
-            raise SimulationError(
-                f"mapping covers {mapping.threads} threads; expected "
-                f"{nodes} (replicated instances) or "
-                f"{nodes * config.contexts} (collocation)"
-            )
-        for instance in programs:
-            if len(instance) != mapping.threads:
-                raise SimulationError(
-                    "every instance must provide one program per thread"
-                )
+        self._collocated, programs_at = place_programs(
+            config, mapping, programs, self.torus.node_count
+        )
         self.mapping = mapping
         self.stats = MachineStats(nodes=self.torus.node_count)
         if fabric_factory is not None:
@@ -164,21 +198,6 @@ class Machine:
             for node in self.torus.nodes()
         ]
         self.processors: List[Processor] = []
-        if self._collocated:
-            programs_at = {
-                node: [programs[0][t] for t in mapping.threads_on(node)]
-                for node in self.torus.nodes()
-            }
-        else:
-            # Bijective mapping: exactly one thread per node.
-            thread_at = {p: t for t, p in mapping.items()}
-            programs_at = {
-                node: [
-                    programs[instance][thread_at[node]]
-                    for instance in range(config.contexts)
-                ]
-                for node in self.torus.nodes()
-            }
         # One child sequence per node from the documented root seed;
         # processors receive their stream rather than deriving ad-hoc
         # seeds, and ``rng_info`` records the scheme for run manifests.

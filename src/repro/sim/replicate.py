@@ -2,8 +2,11 @@
 
 Every simulated figure used to rest on a single seed.  This module runs
 the same (config, mapping, programs) machine under a list of root seeds
-— serially or fanned out over the persistent warm worker pool
-(:mod:`repro.core.pool`) — and aggregates each
+— serially, fanned out over the persistent warm worker pool
+(:mod:`repro.core.pool`), and/or packed into lockstep batches
+(``batch=R`` routes contiguous seed chunks through
+:func:`repro.sim.batch.run_batch`, one engine pass per chunk) — and
+aggregates each
 :class:`~repro.sim.stats.MeasurementSummary` metric into mean / sample
 standard deviation / 95% confidence interval, so model-vs-sim
 comparisons carry error bars instead of point estimates.
@@ -41,9 +44,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.core.pool import FALLBACK_ERRORS, WorkerPool, get_pool, note_fallback
+from repro.core.pool import (
+    FALLBACK_ERRORS,
+    WorkerPool,
+    chunk_tasks,
+    get_pool,
+    note_fallback,
+)
 from repro.errors import ParameterError
 from repro.mapping.base import Mapping
+from repro.sim.batch import run_batch
 from repro.sim.config import SimulationConfig
 from repro.sim.machine import Machine
 from repro.sim.stats import MeasurementSummary
@@ -230,6 +240,83 @@ def _pool_run_single(payload, task):
     )
 
 
+def _run_batch_chunk(
+    arguments,
+) -> Tuple[List[MeasurementSummary], Optional[Dict]]:
+    """One lockstep batch of seeds through :func:`repro.sim.batch.run_batch`.
+
+    The batched counterpart of :func:`_run_single`: same argument-tuple
+    convention, same worker obs bootstrap, but one call runs every seed
+    in the chunk and returns the summaries in chunk order (each
+    bit-identical to its solo run, telemetry snapshot included).
+    """
+    (
+        config,
+        mapping,
+        programs,
+        chunk,
+        warmup,
+        measure,
+        collect_obs,
+        telemetry,
+    ) = arguments
+    if collect_obs:
+        # Same worker bootstrap as _run_single: fresh trace buffer and
+        # metrics registry so this task's spans/histograms ship exactly
+        # once.
+        obs.enable()
+        obs.reset()
+        obs.REGISTRY.reset()
+    mark = obs.trace_mark() if collect_obs else 0
+    with obs.span("replication.batch", seeds=len(chunk)):
+        summaries = run_batch(
+            config,
+            mapping,
+            programs,
+            chunk,
+            warmup=warmup,
+            measure=measure,
+            telemetry=telemetry,
+        )
+    payload = (
+        {
+            "pid": os.getpid(),
+            "spans": obs.spans_since(mark),
+            "histograms": obs.REGISTRY.snapshot_histograms(),
+        }
+        if collect_obs
+        else None
+    )
+    return summaries, payload
+
+
+def _pool_run_batch(payload, task):
+    """Warm-pool task: one seed chunk through the lockstep batch engine.
+
+    Mirrors :func:`_pool_run_single`'s isolation contract: the broadcast
+    ``(config, mapping, programs)`` payload is shared across tasks on
+    this worker, so mapping/programs are deep-copied per task before the
+    batch machine takes its own per-replication copies.
+    """
+    config, mapping, programs = payload
+    chunk, warmup, measure, collect_obs, telemetry = task
+    if not collect_obs and obs.is_enabled():
+        obs.disable()
+        obs.reset()
+    return _run_batch_chunk(
+        (
+            config,
+            copy.deepcopy(mapping),
+            copy.deepcopy(programs),
+            chunk,
+            warmup,
+            measure,
+            collect_obs,
+            telemetry,
+        )
+    )
+
+
 def run_replications(
     config: SimulationConfig,
     mapping: Mapping,
@@ -240,6 +327,7 @@ def run_replications(
     measure: Optional[int] = None,
     telemetry: Optional[TelemetryConfig] = None,
     pool: Optional[WorkerPool] = None,
+    batch: int = 1,
 ) -> ReplicationResult:
     """Run one machine configuration under each seed and aggregate.
 
@@ -261,14 +349,77 @@ def run_replications(
     :meth:`ReplicationResult.merged_telemetry`); with observability on,
     pool workers additionally ship their histogram state back for the
     jobs-invariant registry merge.
+
+    ``batch > 1`` packs the seeds into contiguous chunks of at most
+    ``batch`` and runs each chunk through the lockstep batch engine
+    (:func:`repro.sim.batch.run_batch`) instead of one machine per
+    seed — dividing the fixed per-cycle interpreter cost across the
+    chunk.  Per-seed summaries (and telemetry snapshots) are
+    bit-identical to the ``batch=1`` path, so batching composes freely
+    with ``jobs``: each chunk is one pool task, multiplying the batch
+    speedup by the pool's scaling.
     """
     seeds = tuple(int(seed) for seed in seeds)
     if not seeds:
         raise ParameterError("need at least one replication seed")
+    batch = int(batch)
+    if batch < 1:
+        raise ParameterError(f"batch must be >= 1; got {batch}")
+    if batch > len(seeds):
+        raise ParameterError(
+            f"batch ({batch}) exceeds the replication count "
+            f"({len(seeds)}); pass batch <= len(seeds)"
+        )
     collect_obs = obs.is_enabled()
     outcomes: Optional[List[Tuple[MeasurementSummary, Optional[Dict]]]] = None
-    with obs.span("replicate", seeds=len(seeds), jobs=jobs):
-        if jobs > 1 or pool is not None:
+    with obs.span("replicate", seeds=len(seeds), jobs=jobs, batch=batch):
+        if batch > 1:
+            chunks = chunk_tasks(seeds, batch)
+            chunk_outcomes = None
+            if jobs > 1 or pool is not None:
+                try:
+                    worker_pool = pool if pool is not None else get_pool(jobs)
+                    worker_pool.broadcast(
+                        "sim.replicate", (config, mapping, programs)
+                    )
+                    tasks = [
+                        (chunk, warmup, measure, collect_obs, telemetry)
+                        for chunk in chunks
+                    ]
+                    chunk_outcomes = worker_pool.map(
+                        _pool_run_batch, tasks, key="sim.replicate"
+                    )
+                    if collect_obs:
+                        obs.ingest_worker_payloads(
+                            payload for _, payload in chunk_outcomes
+                        )
+                except FALLBACK_ERRORS as error:
+                    note_fallback("sim.replicate", error)
+                    chunk_outcomes = None  # run the chunks serially below
+            if chunk_outcomes is None:
+                chunk_outcomes = [
+                    _run_batch_chunk(
+                        (
+                            config,
+                            copy.deepcopy(mapping),
+                            copy.deepcopy(programs),
+                            chunk,
+                            warmup,
+                            measure,
+                            False,
+                            telemetry,
+                        )
+                    )
+                    for chunk in chunks
+                ]
+            # Chunks are contiguous slices of the seed tuple, so plain
+            # concatenation restores seed order.
+            outcomes = [
+                (summary, None)
+                for chunk_summaries, _ in chunk_outcomes
+                for summary in chunk_summaries
+            ]
+        elif jobs > 1 or pool is not None:
             try:
                 worker_pool = pool if pool is not None else get_pool(jobs)
                 worker_pool.broadcast(

@@ -1,0 +1,88 @@
+"""Fuzz the C core's CPython-set-order emulation against real sets.
+
+The batch core replays the directory's sharer bookkeeping in C, and the
+protocol's invalidation fan-out order is the *iteration order* of a
+CPython ``set`` of small ints — a function of the open-addressing table
+(perturb probing, last-dummy-wins slot reuse, growth schedule).  Bit
+parity with the serial simulator therefore rests on the emulation
+matching CPython exactly, which this fuzz pins over add / discard /
+contains / iteration and the protocol-shaped copy-then-discard pattern.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import batchcore
+
+loaded = batchcore.load()
+pytestmark = pytest.mark.skipif(
+    loaded is None,
+    reason=f"batch core unavailable: {batchcore.load_failure()}",
+)
+
+
+def run_case(lib, ffi, rng, max_key, n_ops):
+    ref = set()
+    cs = lib.ts_new()
+    out = ffi.new("long long[]", 8192)
+    try:
+        for _ in range(n_ops):
+            op = rng.random()
+            key = rng.randrange(max_key)
+            if op < 0.7:
+                ref.add(key)
+                lib.ts_add(cs, key)
+            elif op < 0.9:
+                ref.discard(key)
+                lib.ts_discard(cs, key)
+            else:
+                assert (key in ref) == bool(lib.ts_contains(cs, key))
+            assert len(ref) == lib.ts_len(cs)
+            count = lib.ts_items(cs, out)
+            assert [out[i] for i in range(count)] == list(ref)
+        # Protocol-shaped usage: the sharers of a block are copied into
+        # a fresh set minus the requester, then one member is discarded
+        # (the owner ack) — both sides must iterate identically after.
+        excluded = rng.randrange(max_key)
+        expected = {member for member in ref if member != excluded}
+        copy = lib.ts_new()
+        count = lib.ts_items(cs, out)
+        for i in range(count):
+            if out[i] != excluded:
+                lib.ts_add(copy, out[i])
+        dropped = rng.randrange(max_key)
+        expected.discard(dropped)
+        lib.ts_discard(copy, dropped)
+        count = lib.ts_items(copy, out)
+        assert [out[i] for i in range(count)] == list(expected)
+        lib.ts_free(copy)
+    finally:
+        lib.ts_free(cs)
+
+
+def test_set_emulation_matches_cpython_iteration_order():
+    ffi, lib = loaded
+    rng = random.Random(20260807)
+    for max_key in (4, 8, 16, 64, 400, 4096):
+        for n_ops in (3, 8, 30, 120):
+            for _ in range(8):
+                run_case(lib, ffi, rng, max_key, n_ops)
+
+
+def test_set_emulation_add_only_growth():
+    # The directory's sharer sets only grow between transactions; walk
+    # the resize schedule well past the 8-slot initial table.
+    ffi, lib = loaded
+    rng = random.Random(1992)
+    out = ffi.new("long long[]", 8192)
+    for _ in range(10):
+        ref = set()
+        cs = lib.ts_new()
+        for _ in range(rng.randrange(1, 900)):
+            key = rng.randrange(5000)
+            ref.add(key)
+            lib.ts_add(cs, key)
+        count = lib.ts_items(cs, out)
+        assert [out[i] for i in range(count)] == list(ref)
+        lib.ts_free(cs)

@@ -183,6 +183,83 @@ class TestTelemetry:
         assert serial_histogram["count"] > 0
 
 
+class TestBatchedReplication:
+    """The CI-retained batch parity contract (see ISSUE 10).
+
+    ``batch=R`` must be invisible in the results: same per-seed
+    summaries, same aggregates, same merged telemetry as the serial
+    path, with any chunk remainder and any jobs level.
+    """
+
+    def test_batched_matches_serial_per_seed(self):
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 5)
+        serial = run_replications(config, mapping, programs, seeds)
+        # batch=2 over 5 seeds exercises the remainder chunk too.
+        batched = run_replications(
+            config, mapping, programs, seeds, batch=2
+        )
+        assert [s.as_dict() for s in batched.summaries] == [
+            s.as_dict() for s in serial.summaries
+        ]
+        assert batched.aggregates == serial.aggregates
+        assert batched.rng == serial.rng
+
+    def test_batch_composes_with_pool_jobs(self):
+        from repro.core.pool import WorkerPool
+
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 4)
+        serial = run_replications(config, mapping, programs, seeds)
+        with WorkerPool(2) as pool:
+            batched = run_replications(
+                config, mapping, programs, seeds,
+                jobs=2, pool=pool, batch=2,
+            )
+        assert [s.as_dict() for s in batched.summaries] == [
+            s.as_dict() for s in serial.summaries
+        ]
+
+    def test_batched_telemetry_merges_identically(self):
+        # Satellite regression: per-rep snapshots sliced out of a batch
+        # run must merge to exactly the serial replications' result.
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 3)
+        telemetry = TelemetryConfig(epoch_cycles=128)
+        serial = run_replications(
+            config, mapping, programs, seeds, telemetry=telemetry
+        )
+        batched = run_replications(
+            config, mapping, programs, seeds, telemetry=telemetry, batch=3
+        )
+        assert len(batched.telemetry_snapshots()) == 3
+        assert batched.telemetry_snapshots() == serial.telemetry_snapshots()
+        assert batched.merged_telemetry() == serial.merged_telemetry()
+
+    def test_batch_validation(self):
+        config, mapping, programs = small_setup()
+        seeds = default_seeds(config.seed, 2)
+        with pytest.raises(ParameterError, match="batch must be >= 1"):
+            run_replications(config, mapping, programs, seeds, batch=0)
+        with pytest.raises(ParameterError, match="exceeds the replication"):
+            run_replications(config, mapping, programs, seeds, batch=3)
+
+    def test_wormhole_batch_matches_serial(self):
+        config, mapping, programs = small_setup()
+        config = SimulationConfig(
+            radix=4, dimensions=2, contexts=2, switching="wormhole",
+            warmup_network_cycles=300, measure_network_cycles=1200,
+        )
+        seeds = default_seeds(config.seed, 2)
+        serial = run_replications(config, mapping, programs, seeds)
+        batched = run_replications(
+            config, mapping, programs, seeds, batch=2
+        )
+        assert [s.as_dict() for s in batched.summaries] == [
+            s.as_dict() for s in serial.summaries
+        ]
+
+
 class TestWarmPoolDeterminism:
     """Reusing a warm pool must be invisible in the results.
 
